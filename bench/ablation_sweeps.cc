@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md §4 calls out.
+ *
+ * A1 — VR slew rate (the PDN knob separating Haswell/MBVR/LDO): how the
+ *      thread channel's level separation scales with ramp speed, i.e.
+ *      why the §7 LDO mitigation works.
+ * A2 — Reset-time vs. transaction period: the hysteresis must fully
+ *      decay between transactions; shortening the period below
+ *      reset-time + TX + down-ramp corrupts the channel.
+ * A3 — Throttle window (1-of-N IDQ delivery): signal magnitude on the
+ *      SMT channel scales with N−1/N.
+ * A4 — VR command jitter: decode robustness margin.
+ * A5 — FEC scheme under heavy OS noise: goodput vs. reliability of the
+ *      framed link (§6.3 strategies).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "channels/framing.hh"
+#include "channels/smt_channel.hh"
+#include "channels/thread_channel.hh"
+#include "common/table.hh"
+
+using namespace ich;
+
+namespace
+{
+
+BitVec
+payload(std::size_t n, unsigned seed)
+{
+    BitVec bits;
+    unsigned x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    return bits;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Ablations", "design-choice sensitivity sweeps");
+
+    // ---------------- A1: VR slew rate ---------------------------------
+    std::printf("A1: thread-channel level separation vs. VR slew rate\n");
+    Table a1({"slew_mV_per_us", "min_separation_us", "BER(40 bits)"});
+    for (double slew : {0.5, 1.0, 2.5, 10.0, 50.0, 200.0}) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.chip.pmu.vr.slewVoltsPerSecond = slew * 1000.0;
+        cfg.seed = 61;
+        IccThreadCovert ch(cfg);
+        double sep = ch.calibration().minSeparationUs();
+        double ber = ch.transmit(payload(40, 1)).ber;
+        a1.addRow({Table::fmt(slew, 1), Table::fmt(sep, 3),
+                   Table::fmt(ber, 3)});
+    }
+    std::printf("%s", a1.toString().c_str());
+    std::printf("-> separation shrinks ~1/slew; LDO-class slew "
+                "(>=50 mV/us) pushes levels under the jitter floor "
+                "(the §7 mitigation).\n\n");
+
+    // ---------------- A2: reset-time vs. period ------------------------
+    std::printf("A2: BER vs. transaction period (reset-time fixed at "
+                "650 us)\n");
+    Table a2({"period_us", "rated_bps", "BER(60 bits)"});
+    for (double period_us : {500.0, 620.0, 680.0, 710.0, 800.0}) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.period = fromMicroseconds(period_us);
+        cfg.seed = 62;
+        IccThreadCovert ch(cfg);
+        a2.addRow({Table::fmt(period_us, 0),
+                   Table::fmt(ch.ratedThroughputBps(), 0),
+                   Table::fmt(ch.transmit(payload(60, 2)).ber, 3)});
+    }
+    std::printf("%s", a2.toString().c_str());
+    std::printf("-> periods below TX + reset-time + down-ramp leave the "
+                "guardband elevated, compressing levels: the 650 us "
+                "hysteresis bounds the channel rate.\n\n");
+
+    // ---------------- A3: throttle window ------------------------------
+    std::printf("A3: SMT-channel signal vs. IDQ throttle window "
+                "(deliver 1 of N cycles)\n");
+    Table a3({"window_N", "L1_mean_us", "min_separation_us"});
+    for (int window : {2, 4, 8}) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.chip.core.throttle.windowCycles = window;
+        cfg.seed = 63;
+        IccSMTcovert ch(cfg);
+        a3.addRow({std::to_string(window),
+                   Table::fmt(ch.calibration().meanUs(3), 2),
+                   Table::fmt(ch.calibration().minSeparationUs(), 3)});
+    }
+    std::printf("%s", a3.toString().c_str());
+    std::printf("-> the sibling's stall scales with (N-1)/N of the "
+                "ramp time; the paper's measured N=4 gives 75%% "
+                "starvation.\n\n");
+
+    // ---------------- A4: command jitter -------------------------------
+    std::printf("A4: BER vs. VR command jitter\n");
+    Table a4({"jitter_ns", "BER(80 bits)"});
+    for (double jitter_ns : {0.0, 200.0, 500.0, 1000.0, 2000.0}) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.chip.pmu.vr.commandJitter = fromNanoseconds(jitter_ns);
+        cfg.seed = 64;
+        IccThreadCovert ch(cfg);
+        a4.addRow({Table::fmt(jitter_ns, 0),
+                   Table::fmt(ch.transmit(payload(80, 3)).ber, 3)});
+    }
+    std::printf("%s", a4.toString().c_str());
+    std::printf("-> levels are ~1 us apart, so errors appear once "
+                "jitter approaches the level spacing.\n\n");
+
+    // ---------------- A5: FEC under heavy noise ------------------------
+    std::printf("A5: framed link (64-bit frames, 4 attempts) under "
+                "8000 irq/s + 800 ctx/s\n");
+    Table a5({"FEC", "success", "frames_sent", "goodput_bps",
+              "raw_BER"});
+    for (FecScheme fec :
+         {FecScheme::kNone, FecScheme::kHamming74,
+          FecScheme::kRepetition3, FecScheme::kRepetition5}) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.noise.interruptRatePerSec = 8000.0;
+        cfg.noise.contextSwitchRatePerSec = 800.0;
+        cfg.seed = 65;
+        IccThreadCovert ch(cfg);
+        FramingConfig fcfg;
+        fcfg.fec = fec;
+        FramedLink link(ch, fcfg);
+        FramedResult r = link.transfer(payload(128, 4));
+        a5.addRow({toString(fec), r.success ? "yes" : "NO",
+                   std::to_string(r.framesSent),
+                   Table::fmt(r.goodputBps, 0),
+                   Table::fmt(r.rawBerObserved, 3)});
+    }
+    std::printf("%s", a5.toString().c_str());
+    std::printf("-> §6.3: coding + retransmission trades throughput for "
+                "reliability; stronger codes need fewer retries.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction harnesses.
+ */
+
+#ifndef ICH_BENCH_BENCH_UTIL_HH
+#define ICH_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "chip/presets.hh"
+#include "chip/simulation.hh"
+#include "isa/kernel.hh"
+
+namespace ich
+{
+namespace bench
+{
+
+/** Preset pinned at a fixed frequency (the paper's PoC setup). */
+inline ChipConfig
+pinned(ChipConfig cfg, double freq_ghz)
+{
+    cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+    cfg.pmu.governor.userspaceGhz = freq_ghz;
+    return cfg;
+}
+
+/** Unthrottled duration of a kernel, µs. */
+inline double
+nominalUs(const Kernel &k, double freq_ghz)
+{
+    return k.totalCycles() * cyclePicos(freq_ghz) * 1e-6;
+}
+
+/**
+ * Throttling-period estimate (µs) of a loop of @p cls started from
+ * baseline voltage on core 0 (measured minus unthrottled time; ≈ 3/4 of
+ * the raw throttle window — a fixed scale factor).
+ */
+inline double
+throttlePeriodUs(const ChipConfig &cfg, InstClass cls,
+                 std::uint64_t iters = 400, std::uint64_t seed = 1,
+                 int n_cores = 1)
+{
+    Simulation sim(cfg, seed);
+    for (int c = 0; c < n_cores; ++c) {
+        Program p;
+        p.mark(0);
+        p.loop(cls, iters, 100);
+        p.mark(1);
+        sim.chip().core(c).thread(0).setProgram(std::move(p));
+    }
+    for (int c = 0; c < n_cores; ++c)
+        sim.chip().core(c).thread(0).start();
+    sim.run();
+    const auto &recs = sim.chip().core(0).thread(0).records();
+    double measured = toMicroseconds(recs.at(1).time - recs.at(0).time);
+    double freq = cfg.pmu.governor.userspaceGhz;
+    return measured - nominalUs(makeKernel(cls, iters, 100), freq);
+}
+
+/** Banner for a bench harness. */
+inline void
+banner(const std::string &id, const std::string &what)
+{
+    std::printf("==========================================================="
+                "=====\n");
+    std::printf("%s — %s\n", id.c_str(), what.c_str());
+    std::printf("(simulated reproduction; see EXPERIMENTS.md for paper-vs-"
+                "measured)\n");
+    std::printf("==========================================================="
+                "=====\n\n");
+}
+
+} // namespace bench
+} // namespace ich
+
+#endif // ICH_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 2 reproduction: load-line (adaptive voltage positioning) model
+ * with multi-level power-virus guardbands.
+ *
+ * Prints (a) Vccload vs. Icc for a single load-line, and (c) the
+ * regulator set points for three virus levels, showing how the guardband
+ * keeps Vccload >= Vccmin at each level's worst-case current while
+ * respecting Vccmax.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "pdn/loadline.hh"
+#include "pmu/guardband.hh"
+
+int
+main()
+{
+    using namespace ich;
+    bench::banner("Figure 2", "load-line and multi-level guardbands");
+
+    LoadLine ll(1.9e-3);
+    double vccmin = 0.65;
+    double vccmax = 1.15;
+
+    std::printf("(a/b) Vccload = Vcc - RLL*Icc  (Vcc = 0.80 V, RLL = "
+                "1.9 mOhm)\n");
+    Table ta({"Icc_A", "Vccload_V", "droop_mV"});
+    for (double icc : {0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+        ta.addRow({Table::fmt(icc, 0), Table::fmt(ll.vccLoad(0.80, icc), 4),
+                   Table::fmt(ll.droop(icc) * 1000.0, 1)});
+    }
+    std::printf("%s\n", ta.toString().c_str());
+
+    std::printf("(c) Three power-virus levels (1/2/4 active AVX2 cores "
+                "at 2 GHz):\n");
+    GuardbandModel gb(ll, VfCurve{0.55, 0.10});
+    Table tc({"virus_level", "active_cores", "Icc_virus_A", "Vcc_set_V",
+              "Vccload_at_virus_V", ">=Vccmin", "<=Vccmax"});
+    double cdyn_core = 2.4 + 2.7; // base + AVX2 delta, nF
+    for (int cores = 1; cores <= 4; cores *= 2) {
+        double icc = cores * (cdyn_core * 1e-9 * 0.77 * 2e9 + 1.0);
+        double vcc = ll.requiredVcc(vccmin, icc);
+        double vload = ll.vccLoad(vcc, icc);
+        tc.addRow({"VirusLevel" + std::to_string(cores == 1   ? 1
+                                                 : cores == 2 ? 2
+                                                              : 3),
+                   std::to_string(cores), Table::fmt(icc, 1),
+                   Table::fmt(vcc, 4), Table::fmt(vload, 4),
+                   vload >= vccmin - 1e-9 ? "yes" : "NO",
+                   vcc <= vccmax ? "yes" : "NO"});
+    }
+    std::printf("%s\n", tc.toString().c_str());
+
+    std::printf("Guardband steps between levels (Equation 1, 2 GHz):\n");
+    Table tg({"transition", "dV_mV"});
+    for (int lvl = 1; lvl < gb.numLevels(); ++lvl) {
+        tg.addRow({"L" + std::to_string(lvl - 1) + " -> L" +
+                       std::to_string(lvl),
+                   Table::fmt((gb.gbVolts(lvl, 2.0) -
+                               gb.gbVolts(lvl - 1, 2.0)) *
+                                  1000.0,
+                              2)});
+    }
+    std::printf("%s", tg.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Figure 4 reproduction: the three throttling side-effects' bar charts.
+ *
+ * (a) Multi-Throttling-Thread: TP of a 512b_Heavy probe after an Inst0
+ *     loop of each class (same hardware thread).
+ * (b) Multi-Throttling-SMT: stall window observed by a 64b loop on the
+ *     SMT sibling while Inst0 runs.
+ * (c) Multi-Throttling-Cores: duration of a 128b_Heavy probe on core 1
+ *     while core 0 runs Inst0 concurrently.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace ich;
+
+namespace
+{
+
+constexpr double kFreq = 1.4;
+
+ChipConfig
+cfg()
+{
+    return bench::pinned(presets::cannonLake(), kFreq);
+}
+
+double
+threadProbeUs(InstClass inst0)
+{
+    Simulation sim(cfg(), 1);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(inst0, 400, 100);
+    p.mark(0);
+    p.loop(InstClass::k512Heavy, 100, 100);
+    p.mark(1);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    const auto &r = thr.records();
+    return toMicroseconds(r.at(1).time - r.at(0).time);
+}
+
+double
+smtSiblingExcessUs(InstClass inst0)
+{
+    Simulation sim(cfg(), 1);
+    Chip &chip = sim.chip();
+    Program tx;
+    tx.idle(fromMicroseconds(20));
+    tx.loop(inst0, 400, 100);
+    double iter_cycles =
+        makeKernel(InstClass::kScalar64, 1, 20).cyclesPerIteration();
+    double iter_us = iter_cycles * cyclePicos(kFreq) * 1e-6;
+    auto iters = static_cast<std::uint64_t>(300.0 / iter_us);
+    Program rx;
+    rx.loopChunked(InstClass::kScalar64, iters, 200, 0, 20);
+    chip.core(0).thread(0).setProgram(std::move(tx));
+    chip.core(0).thread(1).setProgram(std::move(rx));
+    chip.core(0).thread(1).start();
+    chip.core(0).thread(0).start();
+    sim.run(fromMilliseconds(2));
+    double nominal = 200 * iter_us * 1.001;
+    double excess = 0.0;
+    const auto &recs = chip.core(0).thread(1).records();
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        double chunk = toMicroseconds(recs[i].time - recs[i - 1].time);
+        if (chunk > nominal)
+            excess += chunk - nominal;
+    }
+    return excess;
+}
+
+double
+crossCoreProbeUs(InstClass inst0)
+{
+    Simulation sim(cfg(), 1);
+    Chip &chip = sim.chip();
+    Cycles epoch = static_cast<Cycles>(50.0 * chip.config().tscGhz * 1e3);
+    Program tx;
+    tx.waitUntilTsc(epoch);
+    tx.loop(inst0, 400, 100);
+    Program rx;
+    rx.waitUntilTsc(epoch + static_cast<Cycles>(
+                                150.0 * chip.config().tscGhz));
+    rx.mark(0);
+    rx.loop(InstClass::k128Heavy, 100, 100);
+    rx.mark(1);
+    chip.core(0).thread(0).setProgram(std::move(tx));
+    chip.core(1).thread(0).setProgram(std::move(rx));
+    chip.core(0).thread(0).start();
+    chip.core(1).thread(0).start();
+    sim.run(fromMilliseconds(3));
+    const auto &r = chip.core(1).thread(0).records();
+    return toMicroseconds(r.at(1).time - r.at(0).time);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 4",
+                  "three multi-throttling side-effects vs. Inst0 class");
+
+    Table t({"Inst0", "(a) same-thread 512bH probe us",
+             "(b) SMT sibling stall us", "(c) cross-core 128bH probe us"});
+    for (auto cls : kAllInstClasses) {
+        t.addRow({toString(cls), Table::fmt(threadProbeUs(cls), 2),
+                  Table::fmt(smtSiblingExcessUs(cls), 2),
+                  Table::fmt(crossCoreProbeUs(cls), 2)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+    std::printf("Shapes to check against the paper:\n"
+                " (a) probe TP DECREASES as Inst0 intensity increases\n"
+                " (b) sibling stall INCREASES with Inst0 intensity\n"
+                " (c) cross-core probe INCREASES with Inst0 intensity\n");
+    return 0;
+}

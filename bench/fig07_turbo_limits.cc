@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Figure 7 reproduction: voltage/current limit protection at Turbo.
+ *
+ * (a) Projected Vcc and Icc for non-AVX vs. AVX2 at two Turbo
+ *     frequencies on the desktop (i7-9700K) and mobile (i3-8121U)
+ *     parts, flagged against Vccmax/Iccmax (projections computed with
+ *     limit enforcement disabled — the paper's green-bordered bars).
+ * (b) Time series on the mobile part across Non-AVX → AVX2 → AVX512
+ *     phases at max Turbo: frequency steps down to keep Icc within
+ *     29 A while the junction temperature stays far below Tjmax.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "measure/daq.hh"
+#include "pmu/limits.hh"
+
+using namespace ich;
+
+namespace
+{
+
+std::vector<CoreActivity>
+activity(const ChipConfig &cfg, int n, InstClass cls)
+{
+    std::vector<CoreActivity> act(cfg.numCores);
+    for (int i = 0; i < n; ++i) {
+        act[i].active = true;
+        act[i].cdynNf = cfg.core.cdynBaseNf + traits(cls).deltaCdynNf;
+        act[i].gbLevel = traits(cls).guardbandLevel;
+    }
+    return act;
+}
+
+void
+projectRow(Table &t, const char *system, const ChipConfig &cfg,
+           int cores, double freq, InstClass cls, const char *label)
+{
+    GuardbandModel gb(LoadLine(cfg.pmu.rllOhm), cfg.pmu.vf);
+    ChipPowerModel pm(gb, cfg.pmu.leakagePerCoreAmps, cfg.numCores);
+    auto act = activity(cfg, cores, cls);
+    double v = pm.vTargetVolts(freq, act);
+    double i = pm.iccAmps(freq, v, act);
+    bool v_viol = v > cfg.pmu.limits.vccMaxVolts;
+    bool i_viol = i > cfg.pmu.limits.iccMaxAmps;
+    t.addRow({system, label, Table::fmt(freq, 1), Table::fmt(v, 3),
+              Table::fmt(cfg.pmu.limits.vccMaxVolts, 2),
+              v_viol ? "VIOLATION" : "ok", Table::fmt(i, 1),
+              Table::fmt(cfg.pmu.limits.iccMaxAmps, 0),
+              i_viol ? "VIOLATION" : "ok"});
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 7", "Vccmax/Iccmax limit protection at Turbo");
+
+    // ------------------------------ (a) -------------------------------
+    std::printf("(a) projected operating points (limits disabled, as the "
+                "paper's projected bars)\n");
+    Table ta({"system", "workload", "GHz", "Vcc_V", "Vccmax", "V-check",
+              "Icc_A", "Iccmax", "I-check"});
+    ChipConfig desk = presets::coffeeLake();
+    projectRow(ta, "desktop i7-9700K", desk, 1, 4.9,
+               InstClass::kScalar64, "Non-AVX");
+    projectRow(ta, "desktop i7-9700K", desk, 1, 4.9,
+               InstClass::k256Heavy, "AVX2");
+    projectRow(ta, "desktop i7-9700K", desk, 1, 4.8,
+               InstClass::k256Heavy, "AVX2");
+    ChipConfig mob = presets::cannonLake();
+    projectRow(ta, "mobile i3-8121U", mob, 2, 3.1, InstClass::kScalar64,
+               "Non-AVX");
+    projectRow(ta, "mobile i3-8121U", mob, 2, 3.1, InstClass::k256Heavy,
+               "AVX2");
+    projectRow(ta, "mobile i3-8121U", mob, 2, 2.2, InstClass::k256Heavy,
+               "AVX2");
+    std::printf("%s\n", ta.toString().c_str());
+    std::printf("expected: desktop AVX2@4.9 violates Vccmax only; mobile "
+                "AVX2@3.1 violates Iccmax only.\n\n");
+
+    // ------------------------------ (b) -------------------------------
+    std::printf("(b) mobile part at performance governor: Non-AVX -> "
+                "AVX2 -> AVX512 phases\n");
+    ChipConfig cfg = presets::cannonLake();
+    cfg.pmu.governor.policy = GovernorPolicy::kPerformance;
+    Simulation sim(cfg, 1);
+    Chip &chip = sim.chip();
+
+    auto phase = [&](Program &p, InstClass cls, double ms, double f) {
+        double k_us = bench::nominalUs(makeKernel(cls, 1000, 100), f);
+        int n = static_cast<int>(ms * 1000.0 / k_us);
+        for (int i = 0; i < n; ++i)
+            p.loop(cls, 1000, 100);
+    };
+    for (int c = 0; c < 2; ++c) {
+        Program p;
+        phase(p, InstClass::kScalar64, 4.0, 3.2);
+        phase(p, InstClass::k256Heavy, 4.0, 2.6);
+        phase(p, InstClass::k512Heavy, 4.0, 1.8);
+        chip.core(c).thread(0).setProgram(std::move(p));
+    }
+    Daq daq(sim.eq(), fromMicroseconds(100));
+    daq.addChannel("freq_GHz", [&] { return chip.freqGhz(); });
+    daq.addChannel("vcc_V", [&] { return chip.vccVolts(); });
+    daq.addChannel("icc_A", [&] { return chip.iccAmps(); });
+    daq.addChannel("tj_C", [&] { return chip.tjCelsius(); });
+    daq.start(fromMilliseconds(13));
+    chip.core(0).thread(0).start();
+    chip.core(1).thread(0).start();
+    sim.eq().runUntil(fromMilliseconds(13));
+
+    Table tb({"t_ms", "phase", "freq_GHz", "Vcc_V", "Icc_A", "Tj_C"});
+    struct Pt {
+        double ms;
+        const char *phase;
+    };
+    for (const Pt &pt : {Pt{2.0, "Non-AVX"}, Pt{6.0, "AVX2"},
+                         Pt{11.0, "AVX512"}}) {
+        Time t = fromMilliseconds(pt.ms);
+        tb.addRow({Table::fmt(pt.ms, 1), pt.phase,
+                   Table::fmt(daq.trace("freq_GHz").valueAt(t), 2),
+                   Table::fmt(daq.trace("vcc_V").valueAt(t), 3),
+                   Table::fmt(daq.trace("icc_A").valueAt(t), 1),
+                   Table::fmt(daq.trace("tj_C").valueAt(t), 1)});
+    }
+    std::printf("%s", tb.toString().c_str());
+    std::printf("Icc max over run: %.1f A (limit 29 A); Tj max: %.1f C "
+                "(Tjmax 100 C)\n",
+                daq.trace("icc_A").maxValue(),
+                daq.trace("tj_C").maxValue());
+    std::printf("\nKey Conclusion 2: frequency steps are current/voltage-"
+                "limit protection,\nnot thermal (Tj stays near ambient+"
+                "20C, far below Tjmax).\n");
+    return 0;
+}

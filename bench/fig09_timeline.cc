@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Figure 9 reproduction: timeline of power gate, IPC, frequency and Vcc
+ * while an AVX2 loop activates the current-management mechanisms.
+ *
+ * (a) Low pinned frequency: di/dt-avoidance path — core throttled (IPC
+ *     1/4) while the guardband ramps; frequency untouched.
+ * (b) Nanosecond zoom on the AVX power-gate opening.
+ * (c) Max turbo: Vccmax/Iccmax protection path — P-state transition
+ *     lowers frequency and retargets voltage.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "measure/daq.hh"
+
+using namespace ich;
+
+namespace
+{
+
+/** IPC proxy: 1.0 unthrottled, 0.25 during throttling. */
+double
+ipcOf(Chip &chip)
+{
+    const auto &tu = chip.core(0).throttle();
+    return 1.0 / tu.slowdownFactor(0, InstClass::k256Heavy);
+}
+
+void
+runTimeline(const ChipConfig &cfg, const char *label, double span_us)
+{
+    Simulation sim(cfg, 3);
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+
+    Program p;
+    p.idle(fromMicroseconds(5));
+    p.loop(InstClass::k256Heavy, 2000, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+
+    Daq daq(sim.eq(), fromMicroseconds(1));
+    daq.addChannel("ipc", [&] { return ipcOf(chip); });
+    daq.addChannel("vcc_mV", [&] {
+        return (chip.vccVolts() - v0) * 1000.0;
+    });
+    daq.addChannel("freq_GHz", [&] { return chip.freqGhz(); });
+    daq.addChannel("pg_open", [&] {
+        return chip.core(0).avxGate().closed() ? 0.0 : 1.0;
+    });
+    daq.start(fromMicroseconds(span_us));
+    chip.core(0).thread(0).start();
+    sim.eq().runUntil(fromMicroseconds(span_us));
+
+    std::printf("%s\n", label);
+    Table t({"t_us", "IPC", "Vcc_delta_mV", "freq_GHz", "avx_pg_open"});
+    for (double us = 1.0; us <= span_us; us += span_us / 16.0) {
+        Time tm = fromMicroseconds(us);
+        t.addRow({Table::fmt(us, 0), Table::fmt(daq.trace("ipc").valueAt(tm), 2),
+                  Table::fmt(daq.trace("vcc_mV").valueAt(tm), 2),
+                  Table::fmt(daq.trace("freq_GHz").valueAt(tm), 2),
+                  Table::fmt(daq.trace("pg_open").valueAt(tm), 0)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Figure 9",
+                  "PG / IPC / frequency / Vcc during AVX2 activation");
+
+    // (a) guardband path at pinned low frequency.
+    ChipConfig low = bench::pinned(presets::cannonLake(), 2.0);
+    low.pmu.vr.commandJitter = 0;
+    runTimeline(low, "(a) pinned 2 GHz: throttle + guardband ramp "
+                     "(frequency flat)",
+                40.0);
+
+    // (b) nanosecond zoom: the power gate opens in ~10 ns, *before* the
+    // multi-microsecond throttling window even begins to matter.
+    {
+        ChipConfig cfg = low;
+        Simulation sim(cfg, 3);
+        Chip &chip = sim.chip();
+        Program p;
+        p.loop(InstClass::k256Heavy, 50, 100);
+        chip.core(0).thread(0).setProgram(std::move(p));
+        Daq daq(sim.eq(), fromNanoseconds(2));
+        daq.addChannel("pg_open", [&] {
+            return chip.core(0).avxGate().closed() ? 0.0 : 1.0;
+        });
+        daq.start(fromNanoseconds(40));
+        chip.core(0).thread(0).start();
+        sim.eq().runUntil(fromNanoseconds(40));
+        const Trace &pg = daq.trace("pg_open");
+        double t_open = -1.0;
+        for (const auto &pt : pg.points()) {
+            if (pt.value > 0.5) {
+                t_open = toNanoseconds(pt.time);
+                break;
+            }
+        }
+        std::printf("(b) ns zoom: AVX power gate observed open by t = "
+                    "%.0f ns (wake-up 8-15 ns)\n\n",
+                    t_open);
+    }
+
+    // (c) limit-protection path at max turbo.
+    ChipConfig turbo = presets::cannonLake();
+    turbo.pmu.governor.policy = GovernorPolicy::kPerformance;
+    turbo.pmu.vr.commandJitter = 0;
+    runTimeline(turbo, "(c) max turbo: P-state transition path "
+                       "(frequency steps down)",
+                60.0);
+
+    std::printf("expected shapes: (a) IPC dips to 0.25 while Vcc ramps, "
+                "freq flat;\n(c) freq drops within tens of us; "
+                "(b) PG opens in ~10 ns.\n");
+    return 0;
+}

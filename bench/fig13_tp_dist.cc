@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 13 reproduction: distribution of the receiver's throttling-
+ * period measurement for each of the four levels L1-L4 in a low-noise
+ * system — the ranges must not overlap (>2K TSC cycles apart).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "channels/thread_channel.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+
+using namespace ich;
+
+int
+main()
+{
+    bench::banner("Figure 13",
+                  "receiver TP distribution per level, low noise");
+
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = 5;
+    // Low-noise client system: <1000 events/s (§6.3).
+    cfg.noise.interruptRatePerSec = 500.0;
+    cfg.noise.contextSwitchRatePerSec = 100.0;
+    IccThreadCovert ch(cfg);
+
+    constexpr int kPerLevel = 100;
+    std::vector<int> symbols;
+    for (int r = 0; r < kPerLevel; ++r)
+        for (int s = 0; s < kNumSymbols; ++s)
+            symbols.push_back(s);
+    std::vector<double> tp = ch.runSymbols(symbols, /*with_noise=*/true);
+
+    std::array<Summary, kNumSymbols> per_level;
+    for (std::size_t i = 0; i < symbols.size(); ++i)
+        per_level[symbols[i]].add(tp[i]);
+
+    double tsc_ghz = cfg.chip.tscGhz;
+    Table t({"level", "symbol", "mean_us", "stddev_us", "p1_us", "p99_us",
+             "mean_kcycles"});
+    for (int s = 0; s < kNumSymbols; ++s) {
+        const Summary &sum = per_level[s];
+        t.addRow({"L" + std::to_string(4 - s),
+                  std::string(s & 2 ? "1" : "0") + (s & 1 ? "1" : "0"),
+                  Table::fmt(sum.mean(), 3), Table::fmt(sum.stddev(), 3),
+                  Table::fmt(sum.quantile(0.01), 3),
+                  Table::fmt(sum.quantile(0.99), 3),
+                  Table::fmt(sum.mean() * tsc_ghz, 1)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+
+    // Overlap check between adjacent levels (sorted by mean).
+    std::vector<int> order = {3, 2, 1, 0}; // increasing TP for thread ch.
+    bool overlap = false;
+    double min_gap_cycles = 1e12;
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        double hi_of_lo = per_level[order[i - 1]].quantile(0.999);
+        double lo_of_hi = per_level[order[i]].quantile(0.001);
+        double gap_cycles = (lo_of_hi - hi_of_lo) * tsc_ghz * 1000.0;
+        min_gap_cycles = std::min(min_gap_cycles, gap_cycles);
+        if (lo_of_hi <= hi_of_lo)
+            overlap = true;
+    }
+    std::printf("ranges overlap: %s; min inter-range gap: %.0f TSC "
+                "cycles (paper: >2K)\n",
+                overlap ? "YES (unexpected)" : "no", min_gap_cycles);
+
+    // Print a compact histogram across all levels (cycles x1000).
+    Histogram h(0.0, 40.0, 80);
+    for (std::size_t i = 0; i < tp.size(); ++i)
+        h.add(tp[i] * tsc_ghz); // kcycles
+    std::printf("\nTP histogram (kcycles, count, density):\n%s",
+                h.toString().c_str());
+    return 0;
+}

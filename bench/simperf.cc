@@ -1,0 +1,94 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator core: event-queue
+ * throughput, thread-execution engine, covert-channel transaction cost.
+ * These guard the simulator's performance (a covert-channel evaluation
+ * simulates hundreds of milliseconds of chip time).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "channels/thread_channel.hh"
+#include "chip/presets.hh"
+#include "chip/simulation.hh"
+#include "common/event_queue.hh"
+
+namespace
+{
+
+using namespace ich;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            eq.schedule(static_cast<Time>(i + 1), [&sink] { ++sink; });
+        eq.runToCompletion();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void
+BM_LoopKernelExecution(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ChipConfig cfg = presets::cannonLake();
+        cfg.pmu.secureMode = true;
+        Simulation sim(cfg);
+        HwThread &thr = sim.chip().core(0).thread(0);
+        Program p;
+        p.loop(InstClass::k256Heavy, 10000, 100);
+        thr.setProgram(std::move(p));
+        thr.start();
+        sim.run();
+        benchmark::DoNotOptimize(thr.counters().clkUnhalted());
+    }
+}
+BENCHMARK(BM_LoopKernelExecution);
+
+void
+BM_ThrottledTransaction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        ChipConfig cfg = presets::cannonLake();
+        cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+        cfg.pmu.governor.userspaceGhz = 1.4;
+        Simulation sim(cfg);
+        HwThread &thr = sim.chip().core(0).thread(0);
+        Program p;
+        p.loop(InstClass::k512Heavy, 400, 100);
+        p.mark(0);
+        p.loop(InstClass::k512Heavy, 100, 100);
+        p.mark(1);
+        thr.setProgram(std::move(p));
+        thr.start();
+        sim.run();
+        benchmark::DoNotOptimize(thr.records().size());
+    }
+}
+BENCHMARK(BM_ThrottledTransaction);
+
+void
+BM_CovertChannelBytePerSecond(benchmark::State &state)
+{
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    IccThreadCovert ch(cfg);
+    ch.calibration(); // exclude calibration from the loop
+    BitVec byte = {1, 0, 1, 1, 0, 0, 1, 0};
+    for (auto _ : state) {
+        auto res = ch.transmit(byte);
+        benchmark::DoNotOptimize(res.ber);
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_CovertChannelBytePerSecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cross-core key exfiltration under realistic noise (the attack scenario
+ * the paper's introduction motivates): a sender with access to a secret
+ * AES-128 key but no overt channel leaks it to a receiver on another
+ * physical core via IccCoresCovert, through OS noise, using repetition
+ * coding and a CRC-16 integrity check.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "channels/cores_channel.hh"
+#include "chip/presets.hh"
+
+int
+main()
+{
+    using namespace ich;
+
+    std::vector<std::uint8_t> key = {0x2B, 0x7E, 0x15, 0x16, 0x28, 0xAE,
+                                     0xD2, 0xA6, 0xAB, 0xF7, 0x15, 0x88,
+                                     0x09, 0xCF, 0x4F, 0x3C}; // AES-128
+
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.freqGhz = 1.4;
+    cfg.seed = 2024;
+    // A moderately noisy client system (§6.3).
+    cfg.noise.interruptRatePerSec = 2000.0;
+    cfg.noise.contextSwitchRatePerSec = 200.0;
+
+    IccCoresCovert channel(cfg);
+
+    BitVec payload = bytesToBits(key);
+    std::uint16_t crc = crc16(payload);
+
+    constexpr int kRep = 3;
+    BitVec coded = repetitionEncode(payload, kRep);
+    std::printf("sender: leaking a %zu-bit key as %zu coded bits "
+                "(x%d repetition)\n",
+                payload.size(), coded.size(), kRep);
+
+    TransmitResult res = channel.transmit(coded);
+    BitVec decoded = repetitionDecode(res.receivedBits, kRep);
+    auto rx_key = bitsToBytes(decoded);
+
+    std::printf("raw channel BER : %.4f (%zu/%zu bits)\n", res.ber,
+                res.bitErrors, res.sentBits.size());
+    std::printf("transfer time   : %.1f ms simulated (%.0f bit/s raw)\n",
+                res.seconds * 1e3, res.throughputBps);
+    std::printf("CRC-16 check    : %s\n",
+                crc16(decoded) == crc ? "PASS" : "FAIL");
+
+    std::printf("key sent        : ");
+    for (auto b : key)
+        std::printf("%02x", b);
+    std::printf("\nkey received    : ");
+    for (auto b : rx_key)
+        std::printf("%02x", b);
+    std::printf("\n");
+
+    bool ok = rx_key == key;
+    std::printf("exfiltration %s\n", ok ? "SUCCEEDED" : "FAILED");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: send the byte string "IChannels!" over the same-hardware-
+ * thread covert channel (IccThreadCovert) on a simulated Cannon Lake
+ * part, then print what the receiver decoded plus channel statistics.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "channels/thread_channel.hh"
+#include "chip/presets.hh"
+
+int
+main()
+{
+    using namespace ich;
+
+    // 1. Pick a processor model and channel configuration.
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.freqGhz = 1.4; // pin the clock, as the paper's PoC does
+    cfg.seed = 42;
+
+    // 2. Construct the covert channel (calibration happens lazily).
+    IccThreadCovert channel(cfg);
+
+    // 3. Encode a secret as bits and transmit.
+    std::string secret = "IChannels!";
+    std::vector<std::uint8_t> bytes(secret.begin(), secret.end());
+    BitVec bits = bytesToBits(bytes);
+    TransmitResult res = channel.transmit(bits);
+
+    // 4. Decode on the receiver side.
+    std::vector<std::uint8_t> rx_bytes = bitsToBytes(res.receivedBits);
+    std::string decoded(rx_bytes.begin(), rx_bytes.end());
+
+    std::printf("secret sent      : %s\n", secret.c_str());
+    std::printf("secret received  : %s\n", decoded.c_str());
+    std::printf("bits transferred : %zu\n", res.sentBits.size());
+    std::printf("bit errors       : %zu (BER %.4f)\n", res.bitErrors,
+                res.ber);
+    std::printf("throughput       : %.0f bit/s\n", res.throughputBps);
+    std::printf("TP level means   : ");
+    for (int s = 0; s < kNumSymbols; ++s)
+        std::printf("L%d=%.2fus ", 4 - s,
+                    channel.calibration().meanUs(s));
+    std::printf("\nmin level separation: %.2f us\n",
+                channel.calibration().minSeparationUs());
+    return res.bitErrors == 0 ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Side-channel key recovery (the attack paper §6.5 sketches and leaves
+ * to future work, in synthetic form): a victim routine's instruction
+ * *class* depends on a secret — say, a crypto library that takes a
+ * vectorized fast path only when the current key bit is set. An attacker
+ * on another physical core never reads the key; it only times its own
+ * 128b probe loops and recovers the key from the victim's
+ * Multi-Throttling-Cores footprint.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "channels/spy.hh"
+#include "chip/presets.hh"
+
+int
+main()
+{
+    using namespace ich;
+
+    // The secret the victim holds (never shared with the attacker).
+    std::vector<int> key_bits = {1, 0, 1, 1, 0, 0, 1, 0,
+                                 0, 1, 1, 1, 0, 1, 0, 1};
+
+    // Victim code: bit 1 -> wide vectorized path (512b heavy),
+    //              bit 0 -> scalar fallback path.
+    std::vector<InstClass> victim_trace;
+    victim_trace.reserve(key_bits.size());
+    for (int b : key_bits)
+        victim_trace.push_back(b ? InstClass::k512Heavy
+                                 : InstClass::kScalar64);
+
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.freqGhz = 1.4;
+    cfg.seed = 777;
+
+    // Attacker observes from a different physical core.
+    InstructionSpy spy(cfg, ChannelKind::kCores);
+    SpyResult res = spy.observe(victim_trace);
+
+    std::vector<int> recovered;
+    for (int lvl : res.inferredLevels)
+        recovered.push_back(lvl >= 3 ? 1 : 0); // wide path => high level
+
+    std::printf("key bits      : ");
+    for (int b : key_bits)
+        std::printf("%d", b);
+    std::printf("\nrecovered bits: ");
+    for (int b : recovered)
+        std::printf("%d", b);
+    int errors = 0;
+    for (std::size_t i = 0; i < key_bits.size(); ++i)
+        errors += key_bits[i] != recovered[i];
+    std::printf("\nbit errors    : %d / %zu\n", errors,
+                key_bits.size());
+    std::printf("The attacker executed no victim code and shares no "
+                "memory —\nonly the voltage-regulator serialization on "
+                "the shared rail.\n");
+    return errors == 0 ? 0 : 1;
+}

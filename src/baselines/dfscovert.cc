@@ -1,0 +1,103 @@
+#include "baselines/dfscovert.hh"
+
+#include "baselines/freq_receiver.hh"
+
+namespace ich
+{
+
+DfsCovert::DfsCovert(DfsCovertConfig cfg) : cfg_(std::move(cfg)) {}
+
+double
+DfsCovert::ratedThroughputBps() const
+{
+    return 1.0 / toSeconds(cfg_.bitTime);
+}
+
+std::vector<double>
+DfsCovert::runBits(const std::vector<int> &bits)
+{
+    ChipConfig chip = cfg_.chip;
+    chip.pmu.governor.policy = GovernorPolicy::kUserspace;
+    chip.pmu.governor.userspaceGhz = cfg_.lowGhz;
+    chip.pmu.governor.applyLatency = cfg_.governorApplyLatency;
+    Simulation sim(chip, cfg_.seed + (++runCounter_));
+
+    double bit_us = toMicroseconds(cfg_.bitTime);
+    Cycles first = static_cast<Cycles>(100.0 * chip.tscGhz * 1e3);
+    double bit_tsc = bit_us * chip.tscGhz * 1000.0;
+
+    // Sender performs one governor write per bit.
+    Program tx;
+    Chip *chip_ptr = &sim.chip();
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        Cycles epoch = first + static_cast<Cycles>(bit_tsc * k);
+        double target = bits[k] ? cfg_.highGhz : cfg_.lowGhz;
+        tx.waitUntilTsc(epoch);
+        tx.call([chip_ptr, target] {
+            chip_ptr->pmu().writeGovernor(GovernorPolicy::kUserspace,
+                                          target);
+        });
+    }
+
+    double total_us = bit_us * (bits.size() + 2) + 200.0;
+    Program rx = baselines::makeFreqReceiverProgram(
+        total_us, cfg_.highGhz, cfg_.chunkIterations);
+
+    HwThread &tx_thr = sim.chip().core(0).thread(0);
+    HwThread &rx_thr = sim.chip().core(1).thread(0);
+    tx_thr.setProgram(std::move(tx));
+    rx_thr.setProgram(std::move(rx));
+    rx_thr.start();
+    tx_thr.start();
+    sim.run(fromMicroseconds(total_us));
+
+    double first_us = toMicroseconds(sim.chip().tscToTime(first));
+    std::vector<double> ghz;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        double lo = first_us + bit_us * (k + cfg_.windowLo);
+        double hi = first_us + bit_us * (k + cfg_.windowHi);
+        ghz.push_back(baselines::meanFreqInWindow(
+            rx_thr.records(), cfg_.chunkIterations, lo, hi));
+    }
+    return ghz;
+}
+
+void
+DfsCovert::calibrate()
+{
+    std::vector<int> training = {0, 1, 0, 1, 0, 1};
+    std::vector<double> ghz = runBits(training);
+    double sum0 = 0.0, sum1 = 0.0;
+    int half = static_cast<int>(training.size()) / 2;
+    for (std::size_t i = 0; i < training.size(); ++i)
+        (training[i] ? sum1 : sum0) += ghz[i];
+    threshold_ = 0.5 * (sum0 / half + sum1 / half);
+    calibrated_ = true;
+}
+
+TransmitResult
+DfsCovert::transmit(const BitVec &bits)
+{
+    if (!calibrated_)
+        calibrate();
+
+    std::vector<int> tx(bits.begin(), bits.end());
+    std::vector<double> ghz = runBits(tx);
+
+    TransmitResult res;
+    res.sentBits = bits;
+    for (double g : ghz) {
+        res.receivedBits.push_back(g > threshold_ ? 1 : 0);
+        res.tpUs.push_back(g);
+    }
+    res.bitErrors = hammingDistance(res.sentBits, res.receivedBits);
+    res.ber = bits.empty()
+                  ? 0.0
+                  : static_cast<double>(res.bitErrors) / bits.size();
+    res.seconds = bits.size() * toSeconds(cfg_.bitTime);
+    res.throughputBps =
+        res.seconds > 0.0 ? bits.size() / res.seconds : 0.0;
+    return res;
+}
+
+} // namespace ich

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * DFScovert baseline (Alagappan et al., VLSI-SoC'17; paper §6.2,
+ * Fig. 12b).
+ *
+ * A Trojan process modulates the CPU frequency through the software
+ * governor interface (userspace frequency writes); a spy process on
+ * another core senses the frequency from loop timing. Limited by the
+ * multi-millisecond software/kernel governor apply path — the slowest of
+ * the compared channels (~20 b/s).
+ */
+
+#ifndef ICH_BASELINES_DFSCOVERT_HH
+#define ICH_BASELINES_DFSCOVERT_HH
+
+#include "channels/channel.hh"
+
+namespace ich
+{
+
+/** DFScovert configuration. */
+struct DfsCovertConfig {
+    ChipConfig chip;
+    std::uint64_t seed = 1;
+    Time bitTime = fromMilliseconds(50.0);
+    /** Governor write path latency (sysfs + kernel worker + mailbox). */
+    Time governorApplyLatency = fromMilliseconds(20.0);
+    double lowGhz = 1.6;
+    double highGhz = 2.8;
+    double windowLo = 0.70;
+    double windowHi = 0.98;
+    std::uint64_t chunkIterations = 2000;
+};
+
+/** Governor-modulation covert channel. */
+class DfsCovert
+{
+  public:
+    explicit DfsCovert(DfsCovertConfig cfg);
+
+    TransmitResult transmit(const BitVec &bits);
+    double ratedThroughputBps() const;
+
+  private:
+    DfsCovertConfig cfg_;
+    double threshold_ = 0.0;
+    bool calibrated_ = false;
+    std::uint64_t runCounter_ = 0;
+
+    std::vector<double> runBits(const std::vector<int> &bits);
+    void calibrate();
+};
+
+} // namespace ich
+
+#endif // ICH_BASELINES_DFSCOVERT_HH

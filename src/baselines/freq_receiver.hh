@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helper for the frequency-modulation baseline channels
+ * (TurboCC, DFScovert, PowerT): a receiver thread timing a chunked 64b
+ * loop to estimate the chip clock frequency, and a window-mean decoder.
+ */
+
+#ifndef ICH_BASELINES_FREQ_RECEIVER_HH
+#define ICH_BASELINES_FREQ_RECEIVER_HH
+
+#include <vector>
+
+#include "chip/simulation.hh"
+#include "isa/program.hh"
+
+namespace ich
+{
+namespace baselines
+{
+
+constexpr int kFreqRxUnroll = 20;
+
+/** Build the receiver's continuously-timing chunked scalar loop. */
+inline Program
+makeFreqReceiverProgram(double total_us, double nominal_freq_ghz,
+                        std::uint64_t chunk_iters)
+{
+    double iter_cycles = makeKernel(InstClass::kScalar64, 1, kFreqRxUnroll)
+                             .cyclesPerIteration();
+    double iter_us = iter_cycles * cyclePicos(nominal_freq_ghz) * 1e-6;
+    auto iters = static_cast<std::uint64_t>(total_us / iter_us) + 1000;
+    Program rx;
+    rx.loopChunked(InstClass::kScalar64, iters, chunk_iters, /*tag=*/0,
+                   kFreqRxUnroll);
+    return rx;
+}
+
+/**
+ * Mean observed frequency (GHz) over [t_lo_us, t_hi_us], estimated from
+ * chunk latencies. Returns 0 when no chunk falls in the window.
+ */
+inline double
+meanFreqInWindow(const std::vector<Record> &recs,
+                 std::uint64_t chunk_iters, double t_lo_us,
+                 double t_hi_us)
+{
+    double iter_cycles = makeKernel(InstClass::kScalar64, 1, kFreqRxUnroll)
+                             .cyclesPerIteration();
+    double chunk_cycles = iter_cycles * chunk_iters;
+    double sum_ghz = 0.0;
+    int n = 0;
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+        double start_us = toMicroseconds(recs[i - 1].time);
+        if (start_us < t_lo_us || start_us >= t_hi_us)
+            continue;
+        double chunk_us = toMicroseconds(recs[i].time - recs[i - 1].time);
+        if (chunk_us <= 0.0)
+            continue;
+        sum_ghz += chunk_cycles / (chunk_us * 1000.0);
+        ++n;
+    }
+    return n > 0 ? sum_ghz / n : 0.0;
+}
+
+} // namespace baselines
+} // namespace ich
+
+#endif // ICH_BASELINES_FREQ_RECEIVER_HH

@@ -1,0 +1,136 @@
+#include "baselines/powert.hh"
+
+#include "baselines/freq_receiver.hh"
+
+namespace ich
+{
+
+PowerT::PowerT(PowerTConfig cfg) : cfg_(std::move(cfg)) {}
+
+double
+PowerT::ratedThroughputBps() const
+{
+    return 1.0 / toSeconds(cfg_.bitTime);
+}
+
+void
+PowerT::chooseLimit()
+{
+    // Project power with (a) only the receiver's scalar loop and (b) the
+    // sender's burn loop added, at the top frequency bin; place the
+    // limit between so only the burn trips the controller.
+    ChipConfig chip = cfg_.chip;
+    Simulation sim(chip, cfg_.seed);
+    const ChipPowerModel &pm = sim.chip().pmu().powerModel();
+    double f = chip.pmu.pstate.binsGhz.back();
+
+    std::vector<CoreActivity> idle_act(chip.numCores);
+    idle_act[1].active = true; // receiver core
+    idle_act[1].cdynNf = chip.core.cdynBaseNf;
+    double p_idle = pm.powerWatts(f, idle_act);
+
+    std::vector<CoreActivity> burn_act = idle_act;
+    burn_act[0].active = true;
+    burn_act[0].cdynNf =
+        chip.core.cdynBaseNf + traits(cfg_.senderClass).deltaCdynNf;
+    burn_act[0].gbLevel = traits(cfg_.senderClass).guardbandLevel;
+    double p_burn = pm.powerWatts(f, burn_act);
+
+    limitWatts_ = 0.5 * (p_idle + p_burn);
+}
+
+std::vector<double>
+PowerT::runBits(const std::vector<int> &bits)
+{
+    if (limitWatts_ <= 0.0)
+        chooseLimit();
+
+    ChipConfig chip = cfg_.chip;
+    chip.pmu.governor.policy = GovernorPolicy::kPerformance;
+    chip.pmu.powerLimit.enabled = true;
+    chip.pmu.powerLimit.limitWatts = limitWatts_;
+    chip.pmu.powerLimit.evalInterval = cfg_.evalInterval;
+    Simulation sim(chip, cfg_.seed + (++runCounter_));
+
+    double max_ghz = chip.pmu.pstate.binsGhz.back();
+    double bit_us = toMicroseconds(cfg_.bitTime);
+    Cycles first = static_cast<Cycles>(100.0 * chip.tscGhz * 1e3);
+    double bit_tsc = bit_us * chip.tscGhz * 1000.0;
+
+    double hold_us = bit_us * cfg_.holdFraction;
+    double iter_cycles =
+        makeKernel(cfg_.senderClass, 1, 100).cyclesPerIteration();
+    // Iterations sized at ~90% of max frequency (cap drops are small).
+    auto hold_iters = static_cast<std::uint64_t>(
+        hold_us * max_ghz * 0.9 * 1000.0 / iter_cycles);
+
+    Program tx;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        Cycles epoch = first + static_cast<Cycles>(bit_tsc * k);
+        tx.waitUntilTsc(epoch);
+        if (bits[k])
+            tx.loop(cfg_.senderClass, hold_iters);
+    }
+
+    double total_us = bit_us * (bits.size() + 2) + 200.0;
+    Program rx = baselines::makeFreqReceiverProgram(total_us, max_ghz,
+                                                    cfg_.chunkIterations);
+
+    HwThread &tx_thr = sim.chip().core(0).thread(0);
+    HwThread &rx_thr = sim.chip().core(1).thread(0);
+    tx_thr.setProgram(std::move(tx));
+    rx_thr.setProgram(std::move(rx));
+    rx_thr.start();
+    tx_thr.start();
+    sim.run(fromMicroseconds(total_us));
+
+    double first_us = toMicroseconds(sim.chip().tscToTime(first));
+    std::vector<double> ghz;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        double lo = first_us + bit_us * (k + cfg_.windowLo);
+        double hi = first_us + bit_us * (k + cfg_.windowHi);
+        ghz.push_back(baselines::meanFreqInWindow(
+            rx_thr.records(), cfg_.chunkIterations, lo, hi));
+    }
+    return ghz;
+}
+
+void
+PowerT::calibrate()
+{
+    std::vector<int> training = {0, 1, 0, 1, 0, 1, 0, 1};
+    std::vector<double> ghz = runBits(training);
+    double sum0 = 0.0, sum1 = 0.0;
+    int half = static_cast<int>(training.size()) / 2;
+    for (std::size_t i = 0; i < training.size(); ++i)
+        (training[i] ? sum1 : sum0) += ghz[i];
+    threshold_ = 0.5 * (sum0 / half + sum1 / half);
+    calibrated_ = true;
+}
+
+TransmitResult
+PowerT::transmit(const BitVec &bits)
+{
+    if (!calibrated_)
+        calibrate();
+
+    std::vector<int> tx(bits.begin(), bits.end());
+    std::vector<double> ghz = runBits(tx);
+
+    TransmitResult res;
+    res.sentBits = bits;
+    for (double g : ghz) {
+        res.receivedBits.push_back(g < threshold_ ? 1 : 0);
+        res.tpUs.push_back(g);
+    }
+    res.bitErrors = hammingDistance(res.sentBits, res.receivedBits);
+    res.ber = bits.empty()
+                  ? 0.0
+                  : static_cast<double>(res.bitErrors) / bits.size();
+    res.seconds = bits.size() * toSeconds(cfg_.bitTime);
+    res.throughputBps =
+        res.seconds > 0.0 ? bits.size() / res.seconds : 0.0;
+    return res;
+}
+
+} // namespace ich

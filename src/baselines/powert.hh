@@ -1,0 +1,61 @@
+/**
+ * @file
+ * POWERT channel baseline (Khatamifard et al., HPCA'19; paper §6.2,
+ * Fig. 12b).
+ *
+ * Covert channel through the package power-limit controller: the sender
+ * burning extra power on its core pushes the running-average power over
+ * the budget, so the controller lowers the shared frequency cap within
+ * one evaluation interval (milliseconds); the receiver senses the
+ * frequency. ~122 b/s, bounded by the controller's evaluation cadence.
+ */
+
+#ifndef ICH_BASELINES_POWERT_HH
+#define ICH_BASELINES_POWERT_HH
+
+#include "channels/channel.hh"
+
+namespace ich
+{
+
+/** PowerT configuration. */
+struct PowerTConfig {
+    ChipConfig chip;
+    std::uint64_t seed = 1;
+    Time bitTime = fromMilliseconds(8.2);
+    Time evalInterval = fromMilliseconds(4.0);
+    double holdFraction = 0.90;
+    double windowLo = 0.55;
+    double windowHi = 0.95;
+    std::uint64_t chunkIterations = 2000;
+    /** Sender burn class: license-neutral but power-hungry. */
+    InstClass senderClass = InstClass::k128Heavy;
+};
+
+/** Power-limit frequency covert channel. */
+class PowerT
+{
+  public:
+    explicit PowerT(PowerTConfig cfg);
+
+    TransmitResult transmit(const BitVec &bits);
+    double ratedThroughputBps() const;
+
+    /** Power limit chosen between idle and burn power (for tests). */
+    double chosenLimitWatts() const { return limitWatts_; }
+
+  private:
+    PowerTConfig cfg_;
+    double limitWatts_ = 0.0;
+    double threshold_ = 0.0;
+    bool calibrated_ = false;
+    std::uint64_t runCounter_ = 0;
+
+    std::vector<double> runBits(const std::vector<int> &bits);
+    void calibrate();
+    void chooseLimit();
+};
+
+} // namespace ich
+
+#endif // ICH_BASELINES_POWERT_HH

@@ -1,0 +1,115 @@
+#include "baselines/turbocc.hh"
+
+#include <cmath>
+
+#include "baselines/freq_receiver.hh"
+
+namespace ich
+{
+
+TurboCC::TurboCC(TurboCCConfig cfg) : cfg_(std::move(cfg)) {}
+
+double
+TurboCC::ratedThroughputBps() const
+{
+    return 1.0 / toSeconds(cfg_.bitTime);
+}
+
+std::vector<double>
+TurboCC::runBits(const std::vector<int> &bits)
+{
+    ChipConfig chip = cfg_.chip;
+    chip.pmu.governor.policy = GovernorPolicy::kPerformance;
+    Simulation sim(chip, cfg_.seed + (++runCounter_));
+
+    double max_ghz = chip.pmu.pstate.binsGhz.back();
+    double bit_us = toMicroseconds(cfg_.bitTime);
+    // TSC cycles per microsecond = tscGhz * 1000.
+    Cycles first = static_cast<Cycles>(100.0 * chip.tscGhz * 1e3);
+    double bit_tsc = bit_us * chip.tscGhz * 1000.0;
+
+    // Hold duration in sender-loop iterations at the LVL1 license
+    // frequency (the frequency while the loop runs).
+    double lic1_ghz = chip.pmu.pstate.licenseMaxGhz[1];
+    double hold_us = bit_us * cfg_.holdFraction;
+    double iter_cycles =
+        makeKernel(cfg_.senderClass, 1, 100).cyclesPerIteration();
+    auto hold_iters = static_cast<std::uint64_t>(
+        hold_us * lic1_ghz * 1000.0 / iter_cycles);
+
+    Program tx;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        Cycles epoch = first + static_cast<Cycles>(bit_tsc * k);
+        tx.waitUntilTsc(epoch);
+        if (bits[k])
+            tx.loop(cfg_.senderClass, hold_iters);
+        // bit 0: idle until the next epoch's waitUntilTsc
+    }
+
+    double total_us = bit_us * (bits.size() + 2) + 200.0;
+    Program rx = baselines::makeFreqReceiverProgram(total_us, max_ghz,
+                                                    cfg_.chunkIterations);
+
+    HwThread &tx_thr = sim.chip().core(0).thread(0);
+    HwThread &rx_thr = sim.chip().core(1).thread(0);
+    tx_thr.setProgram(std::move(tx));
+    rx_thr.setProgram(std::move(rx));
+    rx_thr.start();
+    tx_thr.start();
+    sim.run(fromMicroseconds(total_us));
+
+    double first_us = toMicroseconds(sim.chip().tscToTime(first));
+    std::vector<double> ghz;
+    for (std::size_t k = 0; k < bits.size(); ++k) {
+        double lo = first_us + bit_us * (k + cfg_.windowLo);
+        double hi = first_us + bit_us * (k + cfg_.windowHi);
+        ghz.push_back(baselines::meanFreqInWindow(
+            rx_thr.records(), cfg_.chunkIterations, lo, hi));
+    }
+    return ghz;
+}
+
+void
+TurboCC::calibrate()
+{
+    std::vector<int> training = {0, 1, 0, 1, 0, 1, 0, 1};
+    std::vector<double> ghz = runBits(training);
+    double sum0 = 0.0, sum1 = 0.0;
+    int n = 0;
+    for (std::size_t i = 0; i < training.size(); ++i) {
+        if (training[i])
+            sum1 += ghz[i];
+        else
+            sum0 += ghz[i];
+        ++n;
+    }
+    threshold_ = 0.5 * (sum0 + sum1) / (n / 2);
+    calibrated_ = true;
+}
+
+TransmitResult
+TurboCC::transmit(const BitVec &bits)
+{
+    if (!calibrated_)
+        calibrate();
+
+    std::vector<int> tx(bits.begin(), bits.end());
+    std::vector<double> ghz = runBits(tx);
+
+    TransmitResult res;
+    res.sentBits = bits;
+    for (double g : ghz) {
+        res.receivedBits.push_back(g < threshold_ ? 1 : 0);
+        res.tpUs.push_back(g);
+    }
+    res.bitErrors = hammingDistance(res.sentBits, res.receivedBits);
+    res.ber = bits.empty()
+                  ? 0.0
+                  : static_cast<double>(res.bitErrors) / bits.size();
+    res.seconds = bits.size() * toSeconds(cfg_.bitTime);
+    res.throughputBps =
+        res.seconds > 0.0 ? bits.size() / res.seconds : 0.0;
+    return res;
+}
+
+} // namespace ich

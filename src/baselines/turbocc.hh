@@ -1,0 +1,58 @@
+/**
+ * @file
+ * TurboCC baseline (Kalmbach et al., arXiv 2020; paper §3, §6.2,
+ * Fig. 12b).
+ *
+ * Cross-core covert channel that modulates the *turbo license*: the
+ * sender holding an AVX2 loop forces the shared clock domain down to the
+ * LVL1 turbo frequency; the receiver senses the frequency from loop
+ * timing. Slow because the license releases only milliseconds after the
+ * AVX2 activity stops (and the paper's Key Conclusion 2: the cap is a
+ * current-limit mechanism, not thermal). ~61 b/s.
+ */
+
+#ifndef ICH_BASELINES_TURBOCC_HH
+#define ICH_BASELINES_TURBOCC_HH
+
+#include "channels/channel.hh"
+
+namespace ich
+{
+
+/** TurboCC configuration. */
+struct TurboCCConfig {
+    ChipConfig chip;
+    std::uint64_t seed = 1;
+    /** One bit per bitTime; must cover license drop + release. */
+    Time bitTime = fromMilliseconds(16.4);
+    /** Fraction of the bit the sender holds the AVX2 loop. */
+    double holdFraction = 0.92;
+    /** Decode window (fraction of bitTime). */
+    double windowLo = 0.80;
+    double windowHi = 0.98;
+    std::uint64_t chunkIterations = 2000;
+    InstClass senderClass = InstClass::k256Heavy;
+};
+
+/** Turbo-license frequency covert channel. */
+class TurboCC
+{
+  public:
+    explicit TurboCC(TurboCCConfig cfg);
+
+    TransmitResult transmit(const BitVec &bits);
+    double ratedThroughputBps() const;
+
+  private:
+    TurboCCConfig cfg_;
+    double threshold_ = 0.0;
+    bool calibrated_ = false;
+    std::uint64_t runCounter_ = 0;
+
+    std::vector<double> runBits(const std::vector<int> &bits);
+    void calibrate();
+};
+
+} // namespace ich
+
+#endif // ICH_BASELINES_TURBOCC_HH

@@ -1,0 +1,67 @@
+#include "channels/calibration.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ich
+{
+
+Calibration
+Calibration::fit(const std::vector<int> &symbols,
+                 const std::vector<double> &tp_us)
+{
+    if (symbols.size() != tp_us.size() || symbols.empty())
+        throw std::invalid_argument("Calibration::fit: bad training data");
+
+    Calibration cal;
+    std::array<double, kNumSymbols> sum{};
+    std::array<double, kNumSymbols> sum_sq{};
+    std::array<int, kNumSymbols> n{};
+    for (std::size_t i = 0; i < symbols.size(); ++i) {
+        int s = symbols[i];
+        if (s < 0 || s >= kNumSymbols)
+            throw std::invalid_argument("Calibration::fit: bad symbol");
+        sum[s] += tp_us[i];
+        sum_sq[s] += tp_us[i] * tp_us[i];
+        ++n[s];
+    }
+    for (int s = 0; s < kNumSymbols; ++s) {
+        if (n[s] == 0)
+            throw std::invalid_argument(
+                "Calibration::fit: symbol missing from training set");
+        cal.means_[s] = sum[s] / n[s];
+        double var = sum_sq[s] / n[s] - cal.means_[s] * cal.means_[s];
+        cal.stddevs_[s] = var > 0.0 ? std::sqrt(var) : 0.0;
+    }
+    return cal;
+}
+
+int
+Calibration::decode(double tp_us) const
+{
+    int best = 0;
+    double best_dist = std::numeric_limits<double>::max();
+    for (int s = 0; s < kNumSymbols; ++s) {
+        double d = std::fabs(tp_us - means_[s]);
+        if (d < best_dist) {
+            best_dist = d;
+            best = s;
+        }
+    }
+    return best;
+}
+
+double
+Calibration::minSeparationUs() const
+{
+    std::array<double, kNumSymbols> sorted = means_;
+    std::sort(sorted.begin(), sorted.end());
+    double min_gap = std::numeric_limits<double>::max();
+    for (int s = 1; s < kNumSymbols; ++s)
+        min_gap = std::min(min_gap, sorted[s] - sorted[s - 1]);
+    return min_gap;
+}
+
+} // namespace ich

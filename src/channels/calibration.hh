@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Receiver calibration: learn the per-symbol throttling-period ranges
+ * (the L1..L4 ranges of Figures 3 and 13) from a training sequence, then
+ * decode by nearest mean. The ranges are well separated (> 2 K TSC cycles
+ * in the paper's low-noise characterization), so nearest-mean is
+ * equivalent to the threshold ranges of Figure 3.
+ */
+
+#ifndef ICH_CHANNELS_CALIBRATION_HH
+#define ICH_CHANNELS_CALIBRATION_HH
+
+#include <array>
+#include <vector>
+
+#include "channels/levels.hh"
+
+namespace ich
+{
+
+/** Learned per-symbol TP statistics and the decode rule. */
+class Calibration
+{
+  public:
+    /**
+     * Fit from training data: @p tp_us[i] was measured when symbol
+     * @p symbols[i] was sent.
+     */
+    static Calibration fit(const std::vector<int> &symbols,
+                           const std::vector<double> &tp_us);
+
+    /** Decode one measured TP to the nearest symbol mean. */
+    int decode(double tp_us) const;
+
+    double meanUs(int symbol) const { return means_.at(symbol); }
+    double stddevUs(int symbol) const { return stddevs_.at(symbol); }
+
+    /**
+     * Smallest gap between adjacent symbol means (µs). Zero-ish means
+     * the channel carries no information (e.g. under secure-mode).
+     */
+    double minSeparationUs() const;
+
+  private:
+    std::array<double, kNumSymbols> means_{};
+    std::array<double, kNumSymbols> stddevs_{};
+};
+
+} // namespace ich
+
+#endif // ICH_CHANNELS_CALIBRATION_HH

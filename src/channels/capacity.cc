@@ -1,0 +1,93 @@
+#include "channels/capacity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "channels/channel.hh"
+
+namespace ich
+{
+
+double
+CapacityEstimator::mutualInformationBits(const SymbolSamples &samples,
+                                         int bins)
+{
+    if (bins < 2)
+        throw std::invalid_argument("mutualInformation: bins < 2");
+
+    double lo = std::numeric_limits<double>::max();
+    double hi = std::numeric_limits<double>::lowest();
+    std::size_t total = 0;
+    for (const auto &s : samples) {
+        if (s.empty())
+            throw std::invalid_argument(
+                "mutualInformation: empty symbol sample set");
+        total += s.size();
+        for (double v : s) {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+    if (hi <= lo)
+        return 0.0; // degenerate: Y carries no information
+    // Widen slightly so the max lands inside the last bin.
+    hi += (hi - lo) * 1e-9 + 1e-12;
+
+    // Joint counts: P(x, y-bin), uniform over observed symbols.
+    std::vector<std::vector<double>> joint(
+        kNumSymbols, std::vector<double>(bins, 0.0));
+    for (int x = 0; x < kNumSymbols; ++x) {
+        double w = 1.0 / (kNumSymbols *
+                          static_cast<double>(samples[x].size()));
+        for (double v : samples[x]) {
+            int b = static_cast<int>((v - lo) / (hi - lo) * bins);
+            b = std::clamp(b, 0, bins - 1);
+            joint[x][b] += w;
+        }
+    }
+
+    // I(X;Y) = Σ p(x,y) log2( p(x,y) / (p(x)p(y)) ), p(x)=1/4.
+    std::vector<double> py(bins, 0.0);
+    for (int x = 0; x < kNumSymbols; ++x)
+        for (int b = 0; b < bins; ++b)
+            py[b] += joint[x][b];
+
+    double mi = 0.0;
+    double px = 1.0 / kNumSymbols;
+    for (int x = 0; x < kNumSymbols; ++x) {
+        for (int b = 0; b < bins; ++b) {
+            double pxy = joint[x][b];
+            if (pxy <= 0.0 || py[b] <= 0.0)
+                continue;
+            mi += pxy * std::log2(pxy / (px * py[b]));
+        }
+    }
+    return std::max(0.0, mi);
+}
+
+double
+CapacityEstimator::capacityBps(const SymbolSamples &samples, Time period,
+                               int bins)
+{
+    return mutualInformationBits(samples, bins) / toSeconds(period);
+}
+
+SymbolSamples
+CapacityEstimator::measure(CovertChannel &channel, int repeats,
+                           bool with_noise)
+{
+    std::vector<int> schedule;
+    for (int r = 0; r < repeats; ++r)
+        for (int s = 0; s < kNumSymbols; ++s)
+            schedule.push_back(s);
+    std::vector<double> tp = channel.runSymbols(schedule, with_noise);
+
+    SymbolSamples samples;
+    for (std::size_t i = 0; i < schedule.size(); ++i)
+        samples[schedule[i]].push_back(tp[i]);
+    return samples;
+}
+
+} // namespace ich

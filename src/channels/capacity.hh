@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Empirical covert-channel capacity estimation (paper's [72],
+ * Millen, "Covert Channel Capacity", S&P 1987).
+ *
+ * The IChannels symbol channel is X ∈ {0..3} (sender intensity level) →
+ * Y (receiver TP measurement). From per-symbol TP samples we estimate
+ * the mutual information I(X;Y) with a discretized Y, assuming a uniform
+ * input distribution; capacity per second follows from the transaction
+ * period. A noise-free channel yields the full 2 bits/transaction; noise
+ * and mitigations reduce it — secure-mode drives it to ~0.
+ */
+
+#ifndef ICH_CHANNELS_CAPACITY_HH
+#define ICH_CHANNELS_CAPACITY_HH
+
+#include <array>
+#include <vector>
+
+#include "channels/levels.hh"
+#include "common/types.hh"
+
+namespace ich
+{
+
+/** Per-symbol TP sample sets. */
+using SymbolSamples = std::array<std::vector<double>, kNumSymbols>;
+
+/** Estimates I(X;Y) and channel capacity from measurements. */
+class CapacityEstimator
+{
+  public:
+    /**
+     * Mutual information (bits/transaction) between the transmitted
+     * symbol and the measured TP, with Y discretized into @p bins
+     * equal-width bins spanning the observed sample range.
+     */
+    static double mutualInformationBits(const SymbolSamples &samples,
+                                        int bins = 64);
+
+    /** Capacity in bits/second given the transaction period. */
+    static double capacityBps(const SymbolSamples &samples, Time period,
+                              int bins = 64);
+
+    /**
+     * Collect per-symbol samples by running @p repeats transactions of
+     * each symbol through @p channel (with its configured noise).
+     */
+    static SymbolSamples measure(class CovertChannel &channel,
+                                 int repeats, bool with_noise = true);
+};
+
+} // namespace ich
+
+#endif // ICH_CHANNELS_CAPACITY_HH

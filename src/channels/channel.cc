@@ -1,0 +1,164 @@
+#include "channels/channel.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ich
+{
+
+const char *
+toString(ChannelKind kind)
+{
+    switch (kind) {
+      case ChannelKind::kThread:
+        return "IccThreadCovert";
+      case ChannelKind::kSmt:
+        return "IccSMTcovert";
+      case ChannelKind::kCores:
+        return "IccCoresCovert";
+    }
+    return "?";
+}
+
+CovertChannel::CovertChannel(ChannelConfig cfg)
+    : cfg_(std::move(cfg)), map_(symbolMapFor(cfg_.chip))
+{
+}
+
+ChipConfig
+CovertChannel::chipConfigForRun() const
+{
+    ChipConfig chip = cfg_.chip;
+    chip.pmu.governor.policy = GovernorPolicy::kUserspace;
+    chip.pmu.governor.userspaceGhz = cfg_.freqGhz;
+    return chip;
+}
+
+Cycles
+CovertChannel::firstEpochTsc(const Simulation &sim) const
+{
+    (void)sim;
+    // Leave 50 us for initial rail settling and program start skew.
+    return static_cast<Cycles>(toMicroseconds(fromMicroseconds(50.0)) *
+                               cfg_.chip.tscGhz * 1e3);
+}
+
+Cycles
+CovertChannel::epochTsc(const Simulation &sim, std::size_t k) const
+{
+    double period_cycles =
+        static_cast<double>(cfg_.period) * cfg_.chip.tscGhz / 1000.0;
+    return firstEpochTsc(sim) +
+           static_cast<Cycles>(period_cycles * static_cast<double>(k));
+}
+
+double
+CovertChannel::ratedThroughputBps() const
+{
+    return kBitsPerSymbol / toSeconds(cfg_.period);
+}
+
+CovertChannel::NoiseHandles
+CovertChannel::attachNoise(Simulation &sim, CoreId rx_core, int rx_smt,
+                           CoreId app_core, int app_smt, Time until) const
+{
+    NoiseHandles handles;
+    if (cfg_.noise.interruptRatePerSec > 0.0 ||
+        cfg_.noise.contextSwitchRatePerSec > 0.0) {
+        handles.injector = std::make_unique<NoiseInjector>(
+            sim.chip(), sim.rng(), cfg_.noise, rx_core, rx_smt);
+        handles.injector->start(until);
+    }
+    if (cfg_.app.phiRatePerSec > 0.0) {
+        handles.app = std::make_unique<PhiApp>(sim.chip(), sim.rng(),
+                                               cfg_.app, app_core,
+                                               app_smt);
+        handles.app->start(until);
+    }
+    return handles;
+}
+
+void
+CovertChannel::scheduleBursts(Simulation &sim,
+                              std::size_t n_symbols) const
+{
+    if (!cfg_.burst.enabled)
+        return;
+    Chip *chip = &sim.chip();
+    for (std::size_t k = 0; k < n_symbols; ++k) {
+        Time when = chip->tscToTime(epochTsc(sim, k)) + cfg_.burst.offset;
+        sim.eq().schedule(when, [this, chip] {
+            chip->phiStarted(cfg_.burst.core, cfg_.burst.smt,
+                             cfg_.burst.cls);
+            chip->eventQueue().scheduleIn(
+                cfg_.burst.duration, [this, chip] {
+                    chip->kernelEnded(cfg_.burst.core, cfg_.burst.smt,
+                                      cfg_.burst.cls);
+                });
+        });
+    }
+}
+
+std::vector<double>
+CovertChannel::runSymbols(const std::vector<int> &symbols, bool with_noise)
+{
+    if (symbols.empty())
+        return {};
+    Simulation sim(chipConfigForRun(), cfg_.seed + (++runCounter_));
+    return runOnSimulation(sim, symbols, with_noise);
+}
+
+const Calibration &
+CovertChannel::calibration()
+{
+    if (!calibration_) {
+        std::vector<int> training;
+        for (int r = 0; r < cfg_.calibrationRepeats; ++r)
+            for (int s = 0; s < kNumSymbols; ++s)
+                training.push_back(s);
+        std::vector<double> tp = runSymbols(training, /*with_noise=*/false);
+        calibration_ = Calibration::fit(training, tp);
+    }
+    return *calibration_;
+}
+
+TransmitResult
+CovertChannel::transmit(const BitVec &bits)
+{
+    TransmitResult res;
+    res.sentBits = bits;
+
+    // Pack bits into 2-bit symbols (zero-padded).
+    for (std::size_t i = 0; i < bits.size(); i += 2) {
+        int b0 = bits[i];
+        int b1 = i + 1 < bits.size() ? bits[i + 1] : 0;
+        res.symbolsSent.push_back(packSymbol(b1, b0));
+    }
+
+    const Calibration &cal = calibration();
+    res.tpUs = runSymbols(res.symbolsSent, /*with_noise=*/true);
+    if (res.tpUs.size() != res.symbolsSent.size())
+        throw std::logic_error("CovertChannel: TP count mismatch");
+
+    for (double tp : res.tpUs)
+        res.symbolsReceived.push_back(cal.decode(tp));
+
+    for (std::size_t i = 0; i < res.symbolsReceived.size(); ++i) {
+        auto rx = unpackSymbol(res.symbolsReceived[i]);
+        res.receivedBits.push_back(static_cast<std::uint8_t>(rx[1]));
+        if (2 * i + 1 < bits.size())
+            res.receivedBits.push_back(static_cast<std::uint8_t>(rx[0]));
+    }
+    res.receivedBits.resize(bits.size());
+
+    res.bitErrors = hammingDistance(res.sentBits, res.receivedBits);
+    res.ber = bits.empty()
+                  ? 0.0
+                  : static_cast<double>(res.bitErrors) / bits.size();
+    res.seconds = res.symbolsSent.size() * toSeconds(cfg_.period);
+    res.throughputBps =
+        res.seconds > 0.0 ? bits.size() / res.seconds : 0.0;
+    return res;
+}
+
+} // namespace ich

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Common covert-channel framework: configuration, transaction pacing,
+ * calibration management, and throughput/BER accounting shared by
+ * IccThreadCovert, IccSMTcovert and IccCoresCovert (paper §4, §6).
+ *
+ * Transactions are wall-clock paced (rdtsc epochs, §4.3.3): each symbol
+ * occupies one `period`, consisting of a ~40 µs transmit window followed
+ * by the 650 µs reset-time that lets the hysteresis decay the guardband
+ * back to baseline.
+ */
+
+#ifndef ICH_CHANNELS_CHANNEL_HH
+#define ICH_CHANNELS_CHANNEL_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "channels/calibration.hh"
+#include "channels/coding.hh"
+#include "channels/levels.hh"
+#include "chip/simulation.hh"
+#include "os/noise.hh"
+#include "os/phi_app.hh"
+
+namespace ich
+{
+
+/** Where the two communicating execution contexts live. */
+enum class ChannelKind { kThread, kSmt, kCores };
+
+const char *toString(ChannelKind kind);
+
+/**
+ * Deterministic per-transaction application PHI burst (the Fig. 14b
+ * error-matrix experiment): one concurrent-app PHI of a fixed class
+ * collides with every transaction at a fixed offset into the TX window.
+ * Decoding fails exactly when the burst's power level exceeds the
+ * channel's symbol level.
+ */
+struct PerTxnBurst {
+    bool enabled = false;
+    InstClass cls = InstClass::k256Heavy;
+    /** Offset of the burst into each transaction window. */
+    Time offset = fromMicroseconds(8.0);
+    /** Burst length (a few microseconds of PHI execution). */
+    Time duration = fromMicroseconds(4.0);
+    CoreId core = 0;
+    int smt = 1;
+};
+
+/** Channel configuration. */
+struct ChannelConfig {
+    ChipConfig chip;
+    std::uint64_t seed = 1;
+    /** Pinned operating frequency (paper characterizes at 1–1.4 GHz). */
+    double freqGhz = 1.4;
+    /** Transaction period: TX window + reset-time + down-ramp margin. */
+    Time period = fromMicroseconds(710);
+    /** Receiver start offset after the sender epoch (cross-core sync). */
+    Time coresReceiverDelay = fromNanoseconds(150);
+    /** Sender PHI loop iterations (sized to outlast its own TP). */
+    std::uint64_t senderIterations = 220;
+    /** Receiver probe loop iterations (thread/cores channels). */
+    std::uint64_t probeIterations = 85;
+    /** Receiver chunk size in iterations (SMT channel). */
+    std::uint64_t smtChunkIterations = 250;
+    /** Training transactions per symbol for calibration. */
+    int calibrationRepeats = 8;
+    /** OS noise applied to the receiver's hardware thread. */
+    NoiseConfig noise;
+    /** Concurrent PHI application noise (free-running Poisson bursts). */
+    PhiAppConfig app;
+    /** Per-transaction colliding app burst (Fig. 14b). */
+    PerTxnBurst burst;
+};
+
+/** Outcome of one transmit() call. */
+struct TransmitResult {
+    BitVec sentBits;
+    BitVec receivedBits;
+    std::vector<int> symbolsSent;
+    std::vector<int> symbolsReceived;
+    std::vector<double> tpUs; ///< per-transaction receiver measurement
+    std::size_t bitErrors = 0;
+    double ber = 0.0;
+    double seconds = 0.0;        ///< simulated payload transfer time
+    double throughputBps = 0.0;  ///< payload bits / seconds
+};
+
+/**
+ * Base class for the three IChannels covert channels.
+ */
+class CovertChannel
+{
+  public:
+    explicit CovertChannel(ChannelConfig cfg);
+    virtual ~CovertChannel() = default;
+
+    virtual ChannelKind kind() const = 0;
+
+    /**
+     * Transmit @p bits (2 per transaction) through the channel and
+     * decode them on the receiver side.
+     */
+    TransmitResult transmit(const BitVec &bits);
+
+    /**
+     * Run raw symbol transactions and return the receiver's per-symbol
+     * TP measurements (µs). @p with_noise enables the configured OS and
+     * application noise sources.
+     */
+    std::vector<double> runSymbols(const std::vector<int> &symbols,
+                                   bool with_noise);
+
+    /** Lazily-computed noise-free calibration. */
+    const Calibration &calibration();
+
+    /** Bits per second the transaction pacing supports. */
+    double ratedThroughputBps() const;
+
+    const ChannelConfig &config() const { return cfg_; }
+    const SymbolMap &symbolMap() const { return map_; }
+
+  protected:
+    ChannelConfig cfg_;
+    SymbolMap map_;
+
+    /**
+     * Channel-specific plumbing: install sender/receiver programs for
+     * the given symbol schedule onto @p sim, and return (after the run)
+     * the per-symbol TP measurements.
+     */
+    virtual std::vector<double>
+    runOnSimulation(Simulation &sim, const std::vector<int> &symbols,
+                    bool with_noise) = 0;
+
+    /** First epoch (TSC cycles) leaving time for rails to settle. */
+    Cycles firstEpochTsc(const Simulation &sim) const;
+    /** Epoch k in TSC cycles. */
+    Cycles epochTsc(const Simulation &sim, std::size_t k) const;
+
+    /** Chip config with the channel's pinned frequency applied. */
+    ChipConfig chipConfigForRun() const;
+
+    /** Attach configured noise sources targeting the given thread. */
+    struct NoiseHandles {
+        std::unique_ptr<NoiseInjector> injector;
+        std::unique_ptr<PhiApp> app;
+    };
+    NoiseHandles attachNoise(Simulation &sim, CoreId rx_core, int rx_smt,
+                             CoreId app_core, int app_smt,
+                             Time until) const;
+
+    /**
+     * Schedule the configured per-transaction app bursts (no-op when
+     * disabled) for @p n_symbols transactions on @p sim.
+     */
+    void scheduleBursts(Simulation &sim, std::size_t n_symbols) const;
+
+  private:
+    std::optional<Calibration> calibration_;
+    std::uint64_t runCounter_ = 0;
+};
+
+} // namespace ich
+
+#endif // ICH_CHANNELS_CHANNEL_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-control coding for noisy covert channels (paper §6.3 "Mitigating
+ * the Effects of System Noise": averaging / error detection & correction
+ * codes as used by several covert-channel works [17, 24, 57, 70, 92]).
+ *
+ * Provided schemes: k-repetition with majority vote, Hamming(7,4) single
+ * error correction, and CRC-16/CCITT for end-to-end detection.
+ */
+
+#ifndef ICH_CHANNELS_CODING_HH
+#define ICH_CHANNELS_CODING_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ich
+{
+
+using BitVec = std::vector<std::uint8_t>;
+
+/** @name Bit/byte conversion (LSB-first within each byte) */
+///@{
+BitVec bytesToBits(const std::vector<std::uint8_t> &bytes);
+std::vector<std::uint8_t> bitsToBytes(const BitVec &bits);
+///@}
+
+/** @name k-repetition code */
+///@{
+BitVec repetitionEncode(const BitVec &bits, int k);
+BitVec repetitionDecode(const BitVec &coded, int k);
+///@}
+
+/** @name Hamming(7,4): corrects any single bit error per 7-bit block */
+///@{
+BitVec hammingEncode(const BitVec &bits);
+BitVec hammingDecode(const BitVec &coded);
+///@}
+
+/**
+ * @name Block interleaving
+ * The channel's symbol errors corrupt *pairs* of adjacent bits (one
+ * 2-bit symbol), which defeats single-error-correcting codes. Writing
+ * the codeword into a depth-row block column-wise and reading row-wise
+ * spreads a burst across code blocks: adjacent transmitted bits sit
+ * ceil(n/depth) positions apart in the codeword, so choose
+ * depth ≈ n / code-block-length (e.g. depth = codedBits/7 for
+ * Hamming(7,4)).
+ */
+///@{
+BitVec interleave(const BitVec &bits, int depth);
+BitVec deinterleave(const BitVec &bits, int depth);
+///@}
+
+/** CRC-16/CCITT-FALSE over a bit vector (MSB-first). */
+std::uint16_t crc16(const BitVec &bits);
+
+/** Count positions where @p a and @p b differ (up to the shorter size). */
+std::size_t hammingDistance(const BitVec &a, const BitVec &b);
+
+} // namespace ich
+
+#endif // ICH_CHANNELS_CODING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Instruction-class side-channel spy (paper §6.5).
+ *
+ * The throttling side-effects also work as a *side* channel: attacker
+ * code co-located with an unwitting victim (SMT sibling or another core)
+ * infers the guardband level — and hence the width/heaviness class — of
+ * the instructions the victim executes. This is the paper's synthetic
+ * side-channel built "with minimal changes" from the covert-channel PoC.
+ */
+
+#ifndef ICH_CHANNELS_SPY_HH
+#define ICH_CHANNELS_SPY_HH
+
+#include <vector>
+
+#include "channels/channel.hh"
+#include "isa/inst_class.hh"
+
+namespace ich
+{
+
+/** Result of one observation run. */
+struct SpyResult {
+    std::vector<InstClass> victimClasses;
+    std::vector<int> actualLevels;
+    std::vector<int> inferredLevels;
+    double levelAccuracy = 0.0;
+};
+
+/**
+ * Observes a victim's instruction-class sequence from an SMT sibling or
+ * another core.
+ */
+class InstructionSpy
+{
+  public:
+    /**
+     * @param cfg Channel-style configuration (chip, frequency, pacing).
+     * @param vantage kSmt (sibling thread) or kCores (other core).
+     */
+    InstructionSpy(ChannelConfig cfg, ChannelKind vantage);
+
+    /** Observe one victim kernel per epoch and infer its level. */
+    SpyResult observe(const std::vector<InstClass> &victim_sequence);
+
+  private:
+    ChannelConfig cfg_;
+    ChannelKind vantage_;
+    std::vector<double> levelMeansUs_;
+    bool calibrated_ = false;
+    std::uint64_t runCounter_ = 0;
+
+    std::vector<double> measure(const std::vector<InstClass> &seq);
+    void calibrate();
+};
+
+} // namespace ich
+
+#endif // ICH_CHANNELS_SPY_HH

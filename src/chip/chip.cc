@@ -1,0 +1,86 @@
+#include "chip/chip.hh"
+
+#include <cmath>
+
+namespace ich
+{
+
+Chip::Chip(EventQueue &eq, Rng &rng, const ChipConfig &cfg)
+    : eq_(eq), rng_(rng), cfg_(cfg), thermal_(cfg.thermal)
+{
+    for (CoreId i = 0; i < cfg_.numCores; ++i)
+        cores_.push_back(std::make_unique<Core>(*this, i, cfg_.core));
+    pmu_ = std::make_unique<CentralPmu>(eq_, rng_, cfg_.pmu, *this);
+}
+
+Cycles
+Chip::tscNow() const
+{
+    return static_cast<Cycles>(
+        std::llround(static_cast<double>(eq_.now()) * cfg_.tscGhz /
+                     1000.0));
+}
+
+Time
+Chip::tscToTime(Cycles tsc) const
+{
+    return static_cast<Time>(
+        std::llround(static_cast<double>(tsc) * 1000.0 / cfg_.tscGhz));
+}
+
+void
+Chip::phiStarted(CoreId core, int smt, InstClass cls)
+{
+    pmu_->onPhiStart(core, smt, cls);
+}
+
+void
+Chip::kernelEnded(CoreId core, int smt, InstClass cls)
+{
+    pmu_->onKernelEnd(core, smt, cls);
+}
+
+void
+Chip::activityChanged()
+{
+    pmu_->onActivityChanged();
+}
+
+void
+Chip::assertCoreThrottle(CoreId core, ThrottleReason reason, int initiator)
+{
+    Core &c = *cores_.at(core);
+    c.touch();
+    c.throttle().assertThrottle(reason, initiator);
+    c.refresh();
+}
+
+void
+Chip::deassertCoreThrottle(CoreId core, ThrottleReason reason)
+{
+    Core &c = *cores_.at(core);
+    c.touch();
+    c.throttle().deassertThrottle(reason);
+    c.refresh();
+}
+
+std::vector<CoreActivity>
+Chip::coreActivity() const
+{
+    std::vector<CoreActivity> act(cores_.size());
+    for (std::size_t i = 0; i < cores_.size(); ++i) {
+        act[i].active = cores_[i]->anyThreadActive();
+        act[i].cdynNf = cores_[i]->cdynActiveNf();
+        act[i].gbLevel = 0; // PMU fills granted/pending levels
+        act[i].activeGbLevel = cores_[i]->activeGbLevelNow();
+    }
+    return act;
+}
+
+double
+Chip::tjCelsius()
+{
+    return thermal_.update(eq_.now(), powerWatts());
+}
+
+} // namespace ich

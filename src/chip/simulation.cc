@@ -1,0 +1,47 @@
+#include "chip/simulation.hh"
+
+namespace ich
+{
+
+Simulation::Simulation(const ChipConfig &cfg, std::uint64_t seed)
+    : rng_(seed)
+{
+    chip_ = std::make_unique<Chip>(eq_, rng_, cfg);
+}
+
+bool
+Simulation::allProgramsDone() const
+{
+    for (int c = 0; c < chip_->coreCount(); ++c) {
+        const Core &core = chip_->core(c);
+        for (int t = 0; t < core.numThreads(); ++t) {
+            const HwThread &thr = core.thread(t);
+            if (thr.started() && !thr.done())
+                return false;
+        }
+    }
+    return true;
+}
+
+Time
+Simulation::run(Time horizon)
+{
+    while (!allProgramsDone()) {
+        Time next = eq_.nextEventTime();
+        if (next > horizon) {
+            eq_.runUntil(horizon);
+            break;
+        }
+        if (!eq_.runOne())
+            break;
+    }
+    return eq_.now();
+}
+
+void
+Simulation::runFor(Time duration)
+{
+    eq_.runUntil(eq_.now() + duration);
+}
+
+} // namespace ich

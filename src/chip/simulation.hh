@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Simulation: one experiment instance bundling the event queue, RNG, and
+ * chip. Each covert-channel run / characterization trial constructs a
+ * fresh Simulation so experiments are independent and reproducible from
+ * their seed.
+ */
+
+#ifndef ICH_CHIP_SIMULATION_HH
+#define ICH_CHIP_SIMULATION_HH
+
+#include <memory>
+
+#include "chip/chip.hh"
+#include "common/event_queue.hh"
+#include "common/rng.hh"
+
+namespace ich
+{
+
+/** Self-contained simulation instance. */
+class Simulation
+{
+  public:
+    explicit Simulation(const ChipConfig &cfg, std::uint64_t seed = 1);
+
+    EventQueue &eq() { return eq_; }
+    Rng &rng() { return rng_; }
+    Chip &chip() { return *chip_; }
+
+    /**
+     * Run until all installed thread programs complete or @p horizon is
+     * reached. @return simulated end time.
+     */
+    Time run(Time horizon = fromSeconds(10.0));
+
+    /** Run for a fixed additional duration. */
+    void runFor(Time duration);
+
+  private:
+    EventQueue eq_;
+    Rng rng_;
+    std::unique_ptr<Chip> chip_;
+
+    bool allProgramsDone() const;
+};
+
+} // namespace ich
+
+#endif // ICH_CHIP_SIMULATION_HH

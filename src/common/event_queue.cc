@@ -1,0 +1,101 @@
+#include "common/event_queue.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace ich
+{
+
+EventId
+EventQueue::schedule(Time when, Callback cb, int priority)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: scheduling into the past");
+    auto entry = std::make_shared<Entry>();
+    entry->when = when;
+    entry->priority = priority;
+    entry->id = nextId_++;
+    entry->cb = std::move(cb);
+    byId_[entry->id] = entry;
+    queue_.push(entry);
+    ++liveEvents_;
+    return entry->id;
+}
+
+void
+EventQueue::deschedule(EventId id)
+{
+    auto it = byId_.find(id);
+    if (it == byId_.end())
+        return;
+    if (auto entry = it->second.lock()) {
+        if (!entry->cancelled) {
+            entry->cancelled = true;
+            assert(liveEvents_ > 0);
+            --liveEvents_;
+        }
+    }
+    byId_.erase(it);
+}
+
+Time
+EventQueue::nextEventTime()
+{
+    while (!queue_.empty() && queue_.top()->cancelled)
+        queue_.pop();
+    return queue_.empty() ? ~Time{0} : queue_.top()->when;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!queue_.empty()) {
+        auto entry = queue_.top();
+        queue_.pop();
+        if (entry->cancelled)
+            continue;
+        byId_.erase(entry->id);
+        assert(liveEvents_ > 0);
+        --liveEvents_;
+        assert(entry->when >= now_);
+        now_ = entry->when;
+        ++executed_;
+        entry->cb();
+        return true;
+    }
+    return false;
+}
+
+void
+EventQueue::runUntil(Time t)
+{
+    while (!queue_.empty()) {
+        // Skip tombstones so top() reflects a live event.
+        if (queue_.top()->cancelled) {
+            queue_.pop();
+            continue;
+        }
+        if (queue_.top()->when > t)
+            break;
+        runOne();
+    }
+    if (t > now_)
+        now_ = t;
+}
+
+Time
+EventQueue::runToCompletion(Time horizon)
+{
+    while (!queue_.empty()) {
+        if (queue_.top()->cancelled) {
+            queue_.pop();
+            continue;
+        }
+        if (queue_.top()->when > horizon)
+            break;
+        runOne();
+    }
+    return now_;
+}
+
+} // namespace ich

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * All simulator components share one EventQueue. Events are ordered by
+ * (time, priority, insertion sequence) so same-timestamp events execute
+ * deterministically. Events can be descheduled; cancellation is O(1)
+ * (a tombstone flag checked at pop time).
+ */
+
+#ifndef ICH_COMMON_EVENT_QUEUE_HH
+#define ICH_COMMON_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ich
+{
+
+/** Opaque handle identifying a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * Deterministic discrete-event queue keyed by picosecond timestamps.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Invalid event handle. */
+    static constexpr EventId kInvalidEvent = 0;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when Absolute timestamp; must be >= now().
+     * @param cb Callback to invoke.
+     * @param priority Tie-break among same-timestamp events (lower first).
+     * @return Handle usable with deschedule().
+     */
+    EventId schedule(Time when, Callback cb, int priority = 0);
+
+    /** Schedule @p cb to run @p delay picoseconds from now. */
+    EventId
+    scheduleIn(Time delay, Callback cb, int priority = 0)
+    {
+        return schedule(now_ + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Cancel a pending event. Safe to call with an already-fired or
+     * already-cancelled handle (no-op).
+     */
+    void deschedule(EventId id);
+
+    /** True if no live events remain. */
+    bool empty() const { return liveEvents_ == 0; }
+
+    /** Number of live (not cancelled, not fired) events. */
+    std::size_t size() const { return liveEvents_; }
+
+    /**
+     * Timestamp of the next live event, or ~Time{0} when empty.
+     * Discards cancelled entries encountered at the head.
+     */
+    Time nextEventTime();
+
+    /**
+     * Run the single next event, if any.
+     * @return true if an event was executed.
+     */
+    bool runOne();
+
+    /** Run all events with timestamp <= @p t, then set now() = t. */
+    void runUntil(Time t);
+
+    /**
+     * Run events until the queue drains or @p horizon is exceeded.
+     * @return simulated time at exit.
+     */
+    Time runToCompletion(Time horizon = ~Time{0});
+
+    /** Total events executed (for stats/tests). */
+    std::uint64_t executedEvents() const { return executed_; }
+
+  private:
+    struct Entry {
+        Time when;
+        int priority;
+        EventId id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct EntryOrder {
+        bool
+        operator()(const std::shared_ptr<Entry> &a,
+                   const std::shared_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->id > b->id;
+        }
+    };
+
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>,
+                        EntryOrder> queue_;
+    std::unordered_map<EventId, std::weak_ptr<Entry>> byId_;
+};
+
+} // namespace ich
+
+#endif // ICH_COMMON_EVENT_QUEUE_HH

@@ -1,0 +1,34 @@
+#include "common/log.hh"
+
+#include <cstdio>
+
+namespace ich
+{
+
+namespace
+{
+LogLevel gLevel = LogLevel::kNone;
+} // namespace
+
+LogLevel
+Log::level()
+{
+    return gLevel;
+}
+
+void
+Log::setLevel(LogLevel lvl)
+{
+    gLevel = lvl;
+}
+
+void
+Log::write(LogLevel lvl, Time now, const std::string &msg)
+{
+    if (static_cast<int>(lvl) > static_cast<int>(gLevel))
+        return;
+    std::fprintf(stderr, "[%12.3f us] %s\n", toMicroseconds(now),
+                 msg.c_str());
+}
+
+} // namespace ich

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Minimal leveled logging. Off by default so tests and benches stay quiet;
+ * enable for debugging simulator traces.
+ */
+
+#ifndef ICH_COMMON_LOG_HH
+#define ICH_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+#include "common/types.hh"
+
+namespace ich
+{
+
+enum class LogLevel { kNone = 0, kWarn = 1, kInfo = 2, kTrace = 3 };
+
+/** Global log configuration. */
+class Log
+{
+  public:
+    static LogLevel level();
+    static void setLevel(LogLevel lvl);
+
+    /** Emit one line if @p lvl is enabled; prefixes simulated time. */
+    static void write(LogLevel lvl, Time now, const std::string &msg);
+};
+
+} // namespace ich
+
+#endif // ICH_COMMON_LOG_HH

@@ -1,0 +1,137 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ich
+{
+
+void
+Summary::add(double x)
+{
+    samples_.push_back(x);
+    sorted_ = false;
+    sum_ += x;
+    sumSq_ += x * x;
+}
+
+double
+Summary::mean() const
+{
+    return samples_.empty() ? 0.0 : sum_ / samples_.size();
+}
+
+double
+Summary::min() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::max() const
+{
+    if (samples_.empty())
+        return 0.0;
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::stddev() const
+{
+    std::size_t n = samples_.size();
+    if (n < 2)
+        return 0.0;
+    double m = mean();
+    double var = (sumSq_ - n * m * m) / (n - 1);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+void
+Summary::ensureSorted() const
+{
+    if (!sorted_) {
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+}
+
+double
+Summary::quantile(double q) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    q = std::clamp(q, 0.0, 1.0);
+    double pos = q * (samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(pos);
+    std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+    double frac = pos - lo;
+    return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0 || hi <= lo)
+        throw std::invalid_argument("Histogram: bad range or bin count");
+}
+
+void
+Histogram::add(double x)
+{
+    double width = (hi_ - lo_) / counts_.size();
+    long idx = static_cast<long>(std::floor((x - lo_) / width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    double width = (hi_ - lo_) / counts_.size();
+    return lo_ + i * width;
+}
+
+double
+Histogram::binHi(std::size_t i) const
+{
+    double width = (hi_ - lo_) / counts_.size();
+    return lo_ + (i + 1) * width;
+}
+
+double
+Histogram::binCenter(std::size_t i) const
+{
+    return 0.5 * (binLo(i) + binHi(i));
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) / total_;
+}
+
+std::string
+Histogram::toString(const std::string &label) const
+{
+    std::ostringstream os;
+    if (!label.empty())
+        os << "# " << label << "\n";
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue;
+        os << binCenter(i) << " " << counts_[i] << " " << density(i)
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ich

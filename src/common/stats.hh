@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small statistics helpers: running summaries and fixed-bin histograms.
+ * Used by the characterization benches (TP distributions, BER sweeps) and
+ * by the channel-quality accounting.
+ */
+
+#ifndef ICH_COMMON_STATS_HH
+#define ICH_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ich
+{
+
+/**
+ * Online summary (count/mean/min/max/stddev) plus retained samples for
+ * quantile queries.
+ */
+class Summary
+{
+  public:
+    void add(double x);
+
+    std::size_t count() const { return samples_.size(); }
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    /** q in [0,1]; linear interpolation between order statistics. */
+    double quantile(double q) const;
+
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = false;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+
+    void ensureSorted() const;
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); out-of-range samples are
+ * clamped into the edge bins so probability mass is never lost.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+    double binLo(std::size_t i) const;
+    double binHi(std::size_t i) const;
+    double binCenter(std::size_t i) const;
+
+    /** Fraction of samples in bin i (0 if empty histogram). */
+    double density(std::size_t i) const;
+
+    /** Render as "center count density" rows (for bench output). */
+    std::string toString(const std::string &label = "") const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ich
+
+#endif // ICH_COMMON_STATS_HH

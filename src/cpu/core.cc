@@ -1,0 +1,66 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "isa/inst_class.hh"
+
+namespace ich
+{
+
+Core::Core(ChipApi &chip, CoreId id, const CoreConfig &cfg)
+    : chip_(chip), id_(id), cfg_(cfg), throttle_(cfg.throttle),
+      avxGate_(chip.eventQueue(), chip.rng(), cfg.avxGate)
+{
+    for (int i = 0; i < cfg_.smtThreads; ++i)
+        threads_.push_back(std::make_unique<HwThread>(*this, chip_, id_,
+                                                      i));
+}
+
+void
+Core::touch()
+{
+    for (auto &t : threads_)
+        t->accrue();
+}
+
+void
+Core::refresh()
+{
+    for (auto &t : threads_)
+        t->refresh();
+}
+
+bool
+Core::anyThreadActive() const
+{
+    for (const auto &t : threads_)
+        if (t->activeNow())
+            return true;
+    return false;
+}
+
+int
+Core::activeGbLevelNow() const
+{
+    int lvl = 0;
+    for (const auto &t : threads_) {
+        if (auto cls = t->currentClass())
+            lvl = std::max(lvl, traits(*cls).guardbandLevel);
+    }
+    return lvl;
+}
+
+double
+Core::cdynActiveNf() const
+{
+    if (!anyThreadActive())
+        return 0.0;
+    double max_delta = 0.0;
+    for (const auto &t : threads_) {
+        if (auto cls = t->currentClass())
+            max_delta = std::max(max_delta, traits(*cls).deltaCdynNf);
+    }
+    return cfg_.cdynBaseNf + max_delta;
+}
+
+} // namespace ich

@@ -1,0 +1,4 @@
+#include "cpu/perf_counters.hh"
+
+// Header-only accrual arithmetic; translation unit kept for ODR symmetry
+// with the rest of the cpu module.

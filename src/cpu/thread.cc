@@ -1,0 +1,304 @@
+#include "cpu/thread.hh"
+
+#include <cassert>
+#include <cmath>
+
+#include "cpu/core.hh"
+
+namespace ich
+{
+
+namespace
+{
+/** Iteration-count slack absorbing floating-point rounding. */
+constexpr double kIterEpsilon = 1e-6;
+} // namespace
+
+HwThread::HwThread(Core &core, ChipApi &chip, CoreId core_id, int smt_idx)
+    : core_(core), chip_(chip), coreId_(core_id), smtIdx_(smt_idx)
+{
+}
+
+void
+HwThread::setProgram(Program prog)
+{
+    assert(!started_ || done_);
+    prog_ = std::move(prog);
+    stepIdx_ = 0;
+    started_ = false;
+    done_ = false;
+    enteredStep_ = false;
+    itersDone_ = 0.0;
+    nextRecordIters_ = 0.0;
+    records_.clear();
+}
+
+void
+HwThread::start()
+{
+    assert(!started_);
+    started_ = true;
+    done_ = prog_.empty();
+    lastAccrue_ = chip_.eventQueue().now();
+    chip_.activityChanged();
+    refresh();
+}
+
+const LoopStep *
+HwThread::currentLoop() const
+{
+    if (!started_ || done_ || stepIdx_ >= prog_.size())
+        return nullptr;
+    return std::get_if<LoopStep>(&prog_.step(stepIdx_));
+}
+
+bool
+HwThread::activeNow() const
+{
+    if (!started_ || done_ || stepIdx_ >= prog_.size())
+        return false;
+    const ProgramStep &step = prog_.step(stepIdx_);
+    return std::holds_alternative<LoopStep>(step) ||
+           std::holds_alternative<WaitUntilTscStep>(step);
+}
+
+std::optional<InstClass>
+HwThread::currentClass() const
+{
+    if (!started_ || done_ || stepIdx_ >= prog_.size())
+        return std::nullopt;
+    const ProgramStep &step = prog_.step(stepIdx_);
+    if (const auto *loop = std::get_if<LoopStep>(&step))
+        return loop->kernel.cls;
+    if (std::holds_alternative<WaitUntilTscStep>(step))
+        return InstClass::kScalar64; // rdtsc spin
+    return std::nullopt;
+}
+
+double
+HwThread::iterationPicos(const LoopStep &step) const
+{
+    double cycles = step.kernel.cyclesPerIteration();
+    double slowdown =
+        core_.throttle().slowdownFactor(smtIdx_, step.kernel.cls);
+    return cycles * slowdown * cyclePicos(chip_.freqGhz());
+}
+
+void
+HwThread::accrue()
+{
+    Time now = chip_.eventQueue().now();
+    if (now <= lastAccrue_)
+        return;
+    Time t0 = lastAccrue_;
+    Time t1 = now;
+    lastAccrue_ = now;
+    if (!started_ || done_ || stepIdx_ >= prog_.size())
+        return;
+
+    const ProgramStep &step = prog_.step(stepIdx_);
+    double period_ps = cyclePicos(chip_.freqGhz());
+    double total_cycles = static_cast<double>(t1 - t0) / period_ps;
+
+    if (const auto *loop = std::get_if<LoopStep>(&step)) {
+        if (!enteredStep_)
+            return; // not yet entered (no progress to integrate)
+        // Unhalted the whole interval (stalls spin, interrupts execute).
+        Time exec_start = std::max(t0, std::min(stallUntil_, t1));
+        double exec_ps = static_cast<double>(t1 - exec_start);
+        double iter_ps = iterationPicos(*loop);
+        double new_iters = exec_ps / iter_ps;
+        double cap = static_cast<double>(loop->kernel.iterations);
+        double before = itersDone_;
+        itersDone_ = std::min(cap, itersDone_ + new_iters);
+        double delta_iters = itersDone_ - before;
+
+        double exec_cycles = exec_ps / period_ps;
+        double nd_frac = core_.throttle().notDeliveredFraction(
+            smtIdx_, loop->kernel.cls);
+        counters_.accrue(total_cycles,
+                         delta_iters * (loop->kernel.unroll + 1),
+                         PerfCounters::slotsPerCycle * exec_cycles *
+                             nd_frac);
+    } else if (std::holds_alternative<WaitUntilTscStep>(step)) {
+        // rdtsc spin: unhalted, ~1 inst/cycle, no IDQ starvation counted
+        // (the spin is trivially front-end satisfiable).
+        counters_.accrue(total_cycles, total_cycles, 0.0);
+    }
+    // IdleStep: halted — nothing accrues.
+}
+
+void
+HwThread::emitRecord(int tag, std::uint64_t iters_done)
+{
+    Record rec;
+    rec.tag = tag;
+    rec.tsc = chip_.tscNow();
+    rec.time = chip_.eventQueue().now();
+    rec.iterationsDone = iters_done;
+    records_.push_back(rec);
+}
+
+void
+HwThread::enterStep()
+{
+    assert(!enteredStep_);
+    enteredStep_ = true;
+    const ProgramStep &step = prog_.step(stepIdx_);
+    Time now = chip_.eventQueue().now();
+
+    if (const auto *loop = std::get_if<LoopStep>(&step)) {
+        itersDone_ = 0.0;
+        nextRecordIters_ =
+            loop->recordEveryIterations > 0
+                ? static_cast<double>(loop->recordEveryIterations)
+                : 0.0;
+        if (traits(loop->kernel.cls).usesAvxUnit) {
+            Time wake = core_.avxGate().open();
+            if (wake > 0)
+                stallUntil_ = std::max(stallUntil_, now + wake);
+        }
+        chip_.phiStarted(coreId_, smtIdx_, loop->kernel.cls);
+        chip_.activityChanged();
+    } else if (const auto *idle = std::get_if<IdleStep>(&step)) {
+        idleEnd_ = now + idle->duration;
+        chip_.activityChanged();
+    } else if (std::holds_alternative<WaitUntilTscStep>(step)) {
+        chip_.activityChanged();
+    }
+}
+
+void
+HwThread::finishLoopStep(const LoopStep &step)
+{
+    if (traits(step.kernel.cls).usesAvxUnit)
+        core_.avxGate().touch();
+    chip_.kernelEnded(coreId_, smtIdx_, step.kernel.cls);
+}
+
+void
+HwThread::advance()
+{
+    Time now = chip_.eventQueue().now();
+    while (started_ && !done_) {
+        if (stepIdx_ >= prog_.size()) {
+            done_ = true;
+            chip_.activityChanged();
+            break;
+        }
+        if (!enteredStep_)
+            enterStep();
+
+        const ProgramStep &step = prog_.step(stepIdx_);
+        bool completed = false;
+
+        if (const auto *loop = std::get_if<LoopStep>(&step)) {
+            // Emit any chunk records whose boundary has been crossed.
+            while (loop->recordEveryIterations > 0 &&
+                   nextRecordIters_ <=
+                       itersDone_ + kIterEpsilon &&
+                   nextRecordIters_ <=
+                       static_cast<double>(loop->kernel.iterations)) {
+                emitRecord(loop->tag,
+                           static_cast<std::uint64_t>(
+                               std::llround(nextRecordIters_)));
+                nextRecordIters_ +=
+                    static_cast<double>(loop->recordEveryIterations);
+            }
+            if (itersDone_ + kIterEpsilon >=
+                static_cast<double>(loop->kernel.iterations)) {
+                finishLoopStep(*loop);
+                completed = true;
+            }
+        } else if (const auto *wait =
+                       std::get_if<WaitUntilTscStep>(&step)) {
+            completed = now >= chip_.tscToTime(wait->tsc);
+        } else if (std::get_if<IdleStep>(&step)) {
+            completed = now >= idleEnd_;
+        } else if (const auto *mark = std::get_if<MarkStep>(&step)) {
+            emitRecord(mark->tag, 0);
+            completed = true;
+        } else if (const auto *call = std::get_if<CallStep>(&step)) {
+            if (call->fn)
+                call->fn();
+            completed = true;
+        }
+
+        if (!completed)
+            break;
+        ++stepIdx_;
+        enteredStep_ = false;
+        chip_.activityChanged();
+    }
+}
+
+void
+HwThread::scheduleBoundary()
+{
+    auto &eq = chip_.eventQueue();
+    ++generation_;
+    if (boundaryEvent_ != EventQueue::kInvalidEvent) {
+        eq.deschedule(boundaryEvent_);
+        boundaryEvent_ = EventQueue::kInvalidEvent;
+    }
+    if (!started_ || done_ || stepIdx_ >= prog_.size())
+        return;
+
+    Time now = eq.now();
+    Time when = 0;
+    const ProgramStep &step = prog_.step(stepIdx_);
+
+    if (stallUntil_ > now) {
+        when = stallUntil_;
+    } else if (const auto *loop = std::get_if<LoopStep>(&step)) {
+        double target = static_cast<double>(loop->kernel.iterations);
+        if (loop->recordEveryIterations > 0 &&
+            nextRecordIters_ < target)
+            target = nextRecordIters_;
+        double remaining = std::max(0.0, target - itersDone_);
+        double ps = remaining * iterationPicos(*loop);
+        when = now + static_cast<Time>(std::ceil(ps)) + 1;
+    } else if (const auto *wait = std::get_if<WaitUntilTscStep>(&step)) {
+        when = std::max(now + 1, chip_.tscToTime(wait->tsc));
+    } else if (std::get_if<IdleStep>(&step)) {
+        when = std::max(now + 1, idleEnd_);
+    } else {
+        when = now + 1; // mark/call resolve immediately on next refresh
+    }
+
+    std::uint64_t gen = generation_;
+    boundaryEvent_ = eq.schedule(when, [this, gen] {
+        if (gen == generation_) {
+            boundaryEvent_ = EventQueue::kInvalidEvent;
+            refresh();
+        }
+    });
+}
+
+void
+HwThread::refresh()
+{
+    if (inRefresh_) {
+        pendingRefresh_ = true;
+        return;
+    }
+    inRefresh_ = true;
+    do {
+        pendingRefresh_ = false;
+        accrue();
+        advance();
+    } while (pendingRefresh_);
+    scheduleBoundary();
+    inRefresh_ = false;
+}
+
+void
+HwThread::stallFor(Time duration)
+{
+    accrue();
+    Time now = chip_.eventQueue().now();
+    stallUntil_ = std::max(stallUntil_, now + duration);
+    refresh();
+}
+
+} // namespace ich

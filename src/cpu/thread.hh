@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Hardware-thread execution model.
+ *
+ * A thread runs a Program step by step. Loop kernels advance at a
+ * piecewise-constant rate (core frequency / per-iteration cycles /
+ * throttle slowdown); the thread integrates progress analytically between
+ * simulator events and schedules its own next boundary (step completion,
+ * chunk record, stall end). This gives exact timing without per-cycle
+ * simulation, which matters because a single covert-channel transaction
+ * spans ~2 million core cycles (40 µs TX + 650 µs reset-time).
+ */
+
+#ifndef ICH_CPU_THREAD_HH
+#define ICH_CPU_THREAD_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "cpu/chip_api.hh"
+#include "cpu/perf_counters.hh"
+#include "isa/program.hh"
+
+namespace ich
+{
+
+class Core;
+
+/** One SMT hardware thread. */
+class HwThread
+{
+  public:
+    HwThread(Core &core, ChipApi &chip, CoreId core_id, int smt_idx);
+
+    // Not copyable/movable: threads self-reference via scheduled events.
+    HwThread(const HwThread &) = delete;
+    HwThread &operator=(const HwThread &) = delete;
+
+    /** Install a program (thread must not be running). */
+    void setProgram(Program prog);
+
+    /** Begin executing the installed program at the current time. */
+    void start();
+
+    bool started() const { return started_; }
+    bool done() const { return done_; }
+
+    /**
+     * True while the thread is executing instructions (loop or rdtsc
+     * spin) — i.e. contributes dynamic power and unhalted cycles.
+     */
+    bool activeNow() const;
+
+    /** Instruction class currently executing, if any. */
+    std::optional<InstClass> currentClass() const;
+
+    /** Timestamp records produced by Mark/chunked-Loop steps. */
+    const std::vector<Record> &records() const { return records_; }
+
+    PerfCounters &counters() { return counters_; }
+    const PerfCounters &counters() const { return counters_; }
+
+    /**
+     * Inject an execution stall (interrupt / context switch noise). The
+     * thread stops making forward progress for @p duration but remains
+     * unhalted.
+     */
+    void stallFor(Time duration);
+
+    /** Integrate progress up to now at the current rates. */
+    void accrue();
+
+    /**
+     * Accrue, process step transitions, and reschedule the next boundary
+     * event. Reentrancy-safe: calls arriving while a refresh is running
+     * are coalesced.
+     */
+    void refresh();
+
+    int smtIndex() const { return smtIdx_; }
+    CoreId coreId() const { return coreId_; }
+
+    /** Completed iterations of the current loop step (tests). */
+    double loopIterationsDone() const { return itersDone_; }
+
+  private:
+    Core &core_;
+    ChipApi &chip_;
+    CoreId coreId_;
+    int smtIdx_;
+
+    Program prog_;
+    std::size_t stepIdx_ = 0;
+    bool started_ = false;
+    bool done_ = false;
+    bool enteredStep_ = false;
+
+    // Loop-step progress.
+    double itersDone_ = 0.0;
+    double nextRecordIters_ = 0.0;
+
+    // Idle-step end time (set on entry).
+    Time idleEnd_ = 0;
+
+    Time lastAccrue_ = 0;
+    Time stallUntil_ = 0;
+
+    PerfCounters counters_;
+    std::vector<Record> records_;
+
+    // Event management.
+    std::uint64_t generation_ = 0;
+    EventId boundaryEvent_ = EventQueue::kInvalidEvent;
+    bool inRefresh_ = false;
+    bool pendingRefresh_ = false;
+
+    const LoopStep *currentLoop() const;
+    /** Picoseconds per loop iteration at current freq/throttle state. */
+    double iterationPicos(const LoopStep &step) const;
+    void advance();
+    void enterStep();
+    void scheduleBoundary();
+    void emitRecord(int tag, std::uint64_t iters_done);
+    void finishLoopStep(const LoopStep &step);
+};
+
+} // namespace ich
+
+#endif // ICH_CPU_THREAD_HH

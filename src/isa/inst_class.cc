@@ -1,0 +1,60 @@
+#include "isa/inst_class.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ich
+{
+
+namespace
+{
+
+// ΔCdyn values are calibrated against the paper's measurements:
+//  - Fig. 6: one core running AVX2 (256b heavy) raises Vcc by ~8 mV at
+//    2 GHz and 0.788 V with RLL ≈ 1.9 mΩ ⇒ ΔI ≈ 4.2 A ⇒ ΔCdyn ≈ 2.7 nF.
+//  - The other classes scale with width/heaviness, preserving the five
+//    distinct guardband levels of Fig. 10.
+constexpr InstTraits kTraits[kNumInstClasses] = {
+    // name          width heavy lvl ΔCdyn  ipc  avx
+    {"64b",          64,  false, 0, 0.00,  2.0, false},
+    {"128b_Light",   128, false, 0, 0.00,  1.0, false},
+    {"128b_Heavy",   128, true,  1, 1.20,  1.0, false},
+    {"256b_Light",   256, false, 2, 1.90,  1.0, true},
+    {"256b_Heavy",   256, true,  3, 2.70,  1.0, true},
+    {"512b_Light",   512, false, 3, 2.70,  1.0, true},
+    {"512b_Heavy",   512, true,  4, 4.50,  1.0, true},
+};
+
+} // namespace
+
+const InstTraits &
+traits(InstClass cls)
+{
+    int idx = static_cast<int>(cls);
+    if (idx < 0 || idx >= kNumInstClasses)
+        throw std::out_of_range("traits: bad InstClass");
+    return kTraits[idx];
+}
+
+std::string
+toString(InstClass cls)
+{
+    return traits(cls).name;
+}
+
+bool
+isPhi(InstClass cls)
+{
+    return traits(cls).guardbandLevel > 0;
+}
+
+int
+numGuardbandLevels()
+{
+    int max_lvl = 0;
+    for (auto cls : kAllInstClasses)
+        max_lvl = std::max(max_lvl, traits(cls).guardbandLevel);
+    return max_lvl + 1;
+}
+
+} // namespace ich

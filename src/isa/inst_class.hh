@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The seven instruction classes of the paper's characterization (§4, §5.5)
+ * and their computational-intensity traits.
+ *
+ * "Heavy" instructions use the floating-point unit or a multiplier
+ * (ADDPD, SUBPS, VMULPD, FMA, ...); "Light" ones are non-multiply integer
+ * arithmetic, logic, shuffle, blend. Width spans 64-bit scalar to 512-bit
+ * vector. Intensity maps to a dynamic-capacitance delta (ΔCdyn) that feeds
+ * the guardband calculation (Equation 1) and to a guardband *level*; the
+ * seven classes collapse onto five distinct levels, matching the paper's
+ * "at least five throttling levels" observation (Key Conclusion 4).
+ */
+
+#ifndef ICH_ISA_INST_CLASS_HH
+#define ICH_ISA_INST_CLASS_HH
+
+#include <array>
+#include <string>
+
+namespace ich
+{
+
+/** Instruction class (width × heaviness). */
+enum class InstClass {
+    kScalar64,    ///< 64-bit scalar ALU (baseline; not a PHI)
+    k128Light,    ///< 128-bit SSE logic/shuffle
+    k128Heavy,    ///< 128-bit SSE FP/multiply
+    k256Light,    ///< 256-bit AVX2 logic (e.g. VORPD-256)
+    k256Heavy,    ///< 256-bit AVX2 FP/multiply (e.g. VMULPD-256)
+    k512Light,    ///< 512-bit AVX-512 logic
+    k512Heavy,    ///< 512-bit AVX-512 FP/multiply (e.g. VMULPD-512)
+};
+
+constexpr int kNumInstClasses = 7;
+
+/** All classes in intensity order (handy for sweeps). */
+constexpr std::array<InstClass, kNumInstClasses> kAllInstClasses = {
+    InstClass::kScalar64,  InstClass::k128Light, InstClass::k128Heavy,
+    InstClass::k256Light,  InstClass::k256Heavy, InstClass::k512Light,
+    InstClass::k512Heavy,
+};
+
+/** Static per-class traits. */
+struct InstTraits {
+    const char *name;
+    int widthBits;
+    bool heavy;
+    /**
+     * Guardband level 0..4. Level 0 needs no guardband over the baseline
+     * voltage; level 4 is the worst-case (512b heavy) power virus.
+     * 64b and 128b-light share level 0; 256b-heavy and 512b-light share
+     * level 3 — seven classes, five levels.
+     */
+    int guardbandLevel;
+    /**
+     * Dynamic-capacitance delta over the scalar baseline, in nanofarads
+     * per core. Calibrated so one core's AVX2-heavy guardband lands near
+     * the ~8 mV step of Fig. 6 at 2 GHz.
+     */
+    double deltaCdynNf;
+    /** Sustained instructions per cycle when unthrottled. */
+    double baseIpc;
+    /** Uses the (power-gated) AVX unit? */
+    bool usesAvxUnit;
+};
+
+/** Look up traits for a class. */
+const InstTraits &traits(InstClass cls);
+
+/** Short name, e.g. "256b_Heavy". */
+std::string toString(InstClass cls);
+
+/** True for power-hungry instructions (anything above level 0). */
+bool isPhi(InstClass cls);
+
+/** Number of distinct guardband levels across all classes. */
+int numGuardbandLevels();
+
+} // namespace ich
+
+#endif // ICH_ISA_INST_CLASS_HH

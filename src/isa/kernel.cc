@@ -1,0 +1,35 @@
+#include "isa/kernel.hh"
+
+namespace ich
+{
+
+double
+Kernel::cyclesPerIteration() const
+{
+    const InstTraits &tr = traits(cls);
+    return static_cast<double>(unroll) / tr.baseIpc + 1.0;
+}
+
+double
+Kernel::totalCycles() const
+{
+    return cyclesPerIteration() * static_cast<double>(iterations);
+}
+
+std::uint64_t
+Kernel::totalInstructions() const
+{
+    return static_cast<std::uint64_t>(unroll + 1) * iterations;
+}
+
+Kernel
+makeKernel(InstClass cls, std::uint64_t iterations, int unroll)
+{
+    Kernel k;
+    k.cls = cls;
+    k.iterations = iterations;
+    k.unroll = unroll;
+    return k;
+}
+
+} // namespace ich

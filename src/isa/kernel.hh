@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Loop kernels: the Agner-Fog-style micro-benchmarks of the paper's
+ * methodology (§5.1), e.g. "a loop of 300 VMULPD instructions".
+ *
+ * A kernel is `iterations` repetitions of a loop body containing `unroll`
+ * instructions of one class plus one cycle of loop overhead. Execution
+ * rate is piecewise constant between simulator events, so a hardware
+ * thread can integrate progress analytically.
+ */
+
+#ifndef ICH_ISA_KERNEL_HH
+#define ICH_ISA_KERNEL_HH
+
+#include <cstdint>
+
+#include "isa/inst_class.hh"
+
+namespace ich
+{
+
+/** One measured instruction loop. */
+struct Kernel {
+    InstClass cls = InstClass::kScalar64;
+    std::uint64_t iterations = 1000;
+    /** Instructions of `cls` per loop body. */
+    int unroll = 100;
+
+    /**
+     * Unthrottled core cycles for one loop iteration:
+     * unroll / IPC(cls) + 1 cycle of loop overhead.
+     */
+    double cyclesPerIteration() const;
+
+    /** Unthrottled core cycles for the whole kernel. */
+    double totalCycles() const;
+
+    /** Instructions retired by the whole kernel (including the branch). */
+    std::uint64_t totalInstructions() const;
+};
+
+/** Convenience factory. */
+Kernel makeKernel(InstClass cls, std::uint64_t iterations,
+                  int unroll = 100);
+
+} // namespace ich
+
+#endif // ICH_ISA_KERNEL_HH

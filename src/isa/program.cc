@@ -1,0 +1,56 @@
+#include "isa/program.hh"
+
+namespace ich
+{
+
+Program &
+Program::loop(InstClass cls, std::uint64_t iterations, int unroll)
+{
+    LoopStep step;
+    step.kernel = makeKernel(cls, iterations, unroll);
+    return add(step);
+}
+
+Program &
+Program::loopChunked(InstClass cls, std::uint64_t iterations,
+                     std::uint64_t record_every, int tag, int unroll)
+{
+    LoopStep step;
+    step.kernel = makeKernel(cls, iterations, unroll);
+    step.recordEveryIterations = record_every;
+    step.tag = tag;
+    return add(step);
+}
+
+Program &
+Program::waitUntilTsc(Cycles tsc)
+{
+    return add(WaitUntilTscStep{tsc});
+}
+
+Program &
+Program::idle(Time duration)
+{
+    return add(IdleStep{duration});
+}
+
+Program &
+Program::mark(int tag)
+{
+    return add(MarkStep{tag});
+}
+
+Program &
+Program::call(std::function<void()> fn)
+{
+    return add(CallStep{std::move(fn)});
+}
+
+Program &
+Program::add(ProgramStep step)
+{
+    steps_.push_back(std::move(step));
+    return *this;
+}
+
+} // namespace ich

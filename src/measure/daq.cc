@@ -1,0 +1,63 @@
+#include "measure/daq.hh"
+
+#include <stdexcept>
+
+namespace ich
+{
+
+Daq::Daq(EventQueue &eq, Time sample_interval)
+    : eq_(eq), interval_(sample_interval)
+{
+    if (sample_interval == 0)
+        throw std::invalid_argument("Daq: zero sample interval");
+}
+
+int
+Daq::addChannel(const std::string &name, Probe probe)
+{
+    probes_.push_back(std::move(probe));
+    traces_.push_back(std::make_unique<Trace>(name));
+    return static_cast<int>(traces_.size()) - 1;
+}
+
+const Trace &
+Daq::trace(const std::string &name) const
+{
+    for (const auto &t : traces_)
+        if (t->name() == name)
+            return *t;
+    throw std::out_of_range("Daq: no trace named " + name);
+}
+
+void
+Daq::start(Time until)
+{
+    until_ = until;
+    if (!running_) {
+        running_ = true;
+        sample();
+    }
+}
+
+void
+Daq::stop()
+{
+    running_ = false;
+}
+
+void
+Daq::sample()
+{
+    if (!running_)
+        return;
+    Time now = eq_.now();
+    if (now > until_) {
+        running_ = false;
+        return;
+    }
+    for (std::size_t i = 0; i < probes_.size(); ++i)
+        traces_[i]->add(now, probes_[i]());
+    eq_.schedule(now + interval_, [this] { sample(); });
+}
+
+} // namespace ich

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DAQ sampler: periodic multi-channel probe of simulated analog and
+ * digital signals (Vcc, Icc, frequency, temperature, IPC), standing in
+ * for the NI-DAQ card + sense resistors of Fig. 5. Sampling rate is
+ * configurable up to the NI-PCIe-6376's 3.5 MS/s.
+ */
+
+#ifndef ICH_MEASURE_DAQ_HH
+#define ICH_MEASURE_DAQ_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "measure/trace.hh"
+
+namespace ich
+{
+
+/** Multi-channel periodic sampler. */
+class Daq
+{
+  public:
+    using Probe = std::function<double()>;
+
+    Daq(EventQueue &eq, Time sample_interval);
+
+    /** Register a probe; returns its channel index. */
+    int addChannel(const std::string &name, Probe probe);
+
+    /** Start sampling now; stops automatically at @p until. */
+    void start(Time until);
+
+    /** Stop sampling immediately. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    const Trace &trace(int channel) const { return *traces_.at(channel); }
+    const Trace &trace(const std::string &name) const;
+    int channels() const { return static_cast<int>(traces_.size()); }
+
+  private:
+    EventQueue &eq_;
+    Time interval_;
+    Time until_ = 0;
+    bool running_ = false;
+    std::vector<Probe> probes_;
+    std::vector<std::unique_ptr<Trace>> traces_;
+
+    void sample();
+};
+
+} // namespace ich
+
+#endif // ICH_MEASURE_DAQ_HH

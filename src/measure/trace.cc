@@ -1,0 +1,63 @@
+#include "measure/trace.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ich
+{
+
+double
+Trace::minValue() const
+{
+    double m = points_.empty() ? 0.0 : points_.front().value;
+    for (const auto &p : points_)
+        m = std::min(m, p.value);
+    return m;
+}
+
+double
+Trace::maxValue() const
+{
+    double m = points_.empty() ? 0.0 : points_.front().value;
+    for (const auto &p : points_)
+        m = std::max(m, p.value);
+    return m;
+}
+
+double
+Trace::meanValue() const
+{
+    if (points_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : points_)
+        sum += p.value;
+    return sum / points_.size();
+}
+
+double
+Trace::valueAt(Time t) const
+{
+    double v = 0.0;
+    for (const auto &p : points_) {
+        if (p.time > t)
+            break;
+        v = p.value;
+    }
+    return v;
+}
+
+std::string
+Trace::toRows(std::size_t max_rows) const
+{
+    std::ostringstream os;
+    std::size_t stride = std::max<std::size_t>(
+        1, points_.size() / std::max<std::size_t>(1, max_rows));
+    for (std::size_t i = 0; i < points_.size(); i += stride) {
+        os << toMicroseconds(points_[i].time) << " " << points_[i].value
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ich

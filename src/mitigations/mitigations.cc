@@ -1,0 +1,64 @@
+#include "mitigations/mitigations.hh"
+
+#include "pmu/guardband.hh"
+
+namespace ich
+{
+namespace mitigations
+{
+
+ChipConfig
+withPerCoreVr(ChipConfig cfg)
+{
+    cfg.pmu.perCoreVr = true;
+    cfg.pmu.vr = VrConfig::lowDropout();
+    // LDO transitions are near-deterministic at this scale; keep a tiny
+    // jitter so measurements are not artificially exact.
+    cfg.pmu.vr.commandJitter = fromNanoseconds(20);
+    cfg.name += "+percore-ldo";
+    return cfg;
+}
+
+ChipConfig
+withImprovedThrottling(ChipConfig cfg)
+{
+    cfg.core.throttle.perThread = true;
+    cfg.name += "+improved-throttling";
+    return cfg;
+}
+
+ChipConfig
+withSecureMode(ChipConfig cfg)
+{
+    cfg.pmu.secureMode = true;
+    cfg.name += "+secure-mode";
+    return cfg;
+}
+
+double
+secureModePowerOverheadPct(const ChipConfig &cfg, double freq_ghz,
+                           int max_level)
+{
+    GuardbandModel gb(LoadLine(cfg.pmu.rllOhm), cfg.pmu.vf);
+    double v_base = gb.baseVolts(freq_ghz);
+    double v_secure = v_base;
+    for (int c = 0; c < cfg.numCores; ++c)
+        v_secure += gb.gbVolts(max_level, freq_ghz);
+    double ratio = v_secure / v_base;
+    return (ratio * ratio - 1.0) * 100.0;
+}
+
+std::string
+overheadDescription(const std::string &mitigation)
+{
+    if (mitigation == "per-core-vr")
+        return "11%-13% more core area";
+    if (mitigation == "improved-throttling")
+        return "design/verification effort";
+    if (mitigation == "secure-mode")
+        return "4%-11% additional power";
+    return "n/a";
+}
+
+} // namespace mitigations
+} // namespace ich

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The three mitigations of paper §7, expressed as chip-config transforms
+ * plus an analytic overhead estimator (Table 1):
+ *
+ *  - Per-core voltage regulators (LDO PDN): eliminates the cross-core
+ *    channel entirely (independent rails, no SVID serialization) and
+ *    shrinks thread/SMT throttling periods below practical detectability
+ *    (<0.5 µs transitions). Cost: 11–13% core area.
+ *  - Improved core throttling: block only the PHI uops of the initiating
+ *    thread, eliminating the SMT channel. Cost: design effort only.
+ *  - Secure mode: pin the worst-case power-virus guardband, so PHIs never
+ *    trigger transitions or throttling — eliminates all three channels at
+ *    4–11% extra power (AVX2 / AVX-512 systems).
+ */
+
+#ifndef ICH_MITIGATIONS_MITIGATIONS_HH
+#define ICH_MITIGATIONS_MITIGATIONS_HH
+
+#include <string>
+
+#include "chip/chip.hh"
+
+namespace ich
+{
+namespace mitigations
+{
+
+/** Replace the shared MBVR rail with per-core LDO domains. */
+ChipConfig withPerCoreVr(ChipConfig cfg);
+
+/** Enable per-thread PHI-only IDQ throttling. */
+ChipConfig withImprovedThrottling(ChipConfig cfg);
+
+/** Pin the worst-case guardband (no dynamic transitions). */
+ChipConfig withSecureMode(ChipConfig cfg);
+
+/**
+ * Analytic secure-mode power overhead (%) at the given frequency for a
+ * system whose worst-case PHI sits at @p max_level (3 for AVX2-only
+ * parts, 4 for AVX-512 parts): P ∝ V², so overhead ≈ (Vsecure/Vbase)²−1.
+ */
+double secureModePowerOverheadPct(const ChipConfig &cfg, double freq_ghz,
+                                  int max_level);
+
+/** Human-readable overhead string for Table 1. */
+std::string overheadDescription(const std::string &mitigation);
+
+} // namespace mitigations
+} // namespace ich
+
+#endif // ICH_MITIGATIONS_MITIGATIONS_HH

@@ -1,0 +1,53 @@
+#include "os/noise.hh"
+
+namespace ich
+{
+
+NoiseInjector::NoiseInjector(Chip &chip, Rng &rng, const NoiseConfig &cfg,
+                             CoreId core, int smt)
+    : chip_(chip), rng_(rng), cfg_(cfg), core_(core), smt_(smt)
+{
+}
+
+void
+NoiseInjector::start(Time until)
+{
+    until_ = until;
+    if (cfg_.interruptRatePerSec > 0.0)
+        scheduleInterrupt();
+    if (cfg_.contextSwitchRatePerSec > 0.0)
+        scheduleContextSwitch();
+}
+
+void
+NoiseInjector::scheduleInterrupt()
+{
+    Time gap = rng_.exponentialInterarrival(cfg_.interruptRatePerSec);
+    Time when = chip_.eventQueue().now() + gap;
+    if (when > until_)
+        return;
+    chip_.eventQueue().schedule(when, [this] {
+        ++irqs_;
+        Time dur = rng_.uniformInt(cfg_.interruptMin, cfg_.interruptMax);
+        chip_.core(core_).thread(smt_).stallFor(dur);
+        scheduleInterrupt();
+    });
+}
+
+void
+NoiseInjector::scheduleContextSwitch()
+{
+    Time gap = rng_.exponentialInterarrival(cfg_.contextSwitchRatePerSec);
+    Time when = chip_.eventQueue().now() + gap;
+    if (when > until_)
+        return;
+    chip_.eventQueue().schedule(when, [this] {
+        ++ctxs_;
+        Time dur = rng_.uniformInt(cfg_.contextSwitchMin,
+                                   cfg_.contextSwitchMax);
+        chip_.core(core_).thread(smt_).stallFor(dur);
+        scheduleContextSwitch();
+    });
+}
+
+} // namespace ich

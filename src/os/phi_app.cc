@@ -1,0 +1,45 @@
+#include "os/phi_app.hh"
+
+namespace ich
+{
+
+PhiApp::PhiApp(Chip &chip, Rng &rng, const PhiAppConfig &cfg, CoreId core,
+               int smt)
+    : chip_(chip), rng_(rng), cfg_(cfg), core_(core), smt_(smt)
+{
+}
+
+void
+PhiApp::start(Time until)
+{
+    until_ = until;
+    if (cfg_.phiRatePerSec > 0.0 && !cfg_.classes.empty())
+        scheduleBurst();
+}
+
+void
+PhiApp::scheduleBurst()
+{
+    Time gap = rng_.exponentialInterarrival(cfg_.phiRatePerSec);
+    Time when = chip_.eventQueue().now() + gap;
+    if (when > until_)
+        return;
+    chip_.eventQueue().schedule(when, [this] {
+        ++bursts_;
+        InstClass cls = cfg_.classes[rng_.uniformInt(
+            0, cfg_.classes.size() - 1)];
+        // The burst announces itself to the PMU exactly as an executing
+        // loop would: level request at start, hysteresis stamp at end.
+        chip_.phiStarted(core_, smt_, cls);
+        Kernel k = makeKernel(cls, cfg_.burstIterations, cfg_.unroll);
+        double cycles = k.totalCycles();
+        Time dur = static_cast<Time>(cycles *
+                                     cyclePicos(chip_.freqGhz()));
+        chip_.eventQueue().scheduleIn(dur, [this, cls] {
+            chip_.kernelEnded(core_, smt_, cls);
+        });
+        scheduleBurst();
+    });
+}
+
+} // namespace ich

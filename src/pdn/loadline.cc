@@ -1,0 +1,4 @@
+#include "pdn/loadline.hh"
+
+// LoadLine is header-only arithmetic; this translation unit exists so the
+// module has a stable home for future out-of-line additions.

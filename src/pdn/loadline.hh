@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Load-line (adaptive voltage positioning) model, paper §2 / Figure 2.
+ *
+ * Vccload = Vcc − RLL · Icc. The PMU raises the regulator set point (adds a
+ * voltage guardband) so Vccload stays above Vccmin under the worst-case
+ * current of the current power-virus level.
+ */
+
+#ifndef ICH_PDN_LOADLINE_HH
+#define ICH_PDN_LOADLINE_HH
+
+namespace ich
+{
+
+/** Load-line parameters and helpers (all volts/amps/ohms). */
+class LoadLine
+{
+  public:
+    /**
+     * @param rll_ohm Load-line impedance; recent client parts use
+     *                1.6–2.4 mΩ (paper §2).
+     */
+    explicit LoadLine(double rll_ohm) : rll_(rll_ohm) {}
+
+    double rllOhm() const { return rll_; }
+
+    /** Voltage at the load given the VR output voltage and load current. */
+    double
+    vccLoad(double vcc_volts, double icc_amps) const
+    {
+        return vcc_volts - rll_ * icc_amps;
+    }
+
+    /** Voltage droop (IR drop) for a given current. */
+    double droop(double icc_amps) const { return rll_ * icc_amps; }
+
+    /**
+     * Minimum VR set point that keeps the load at/above @p vccmin when
+     * drawing @p icc_virus (the current power-virus level's current).
+     */
+    double
+    requiredVcc(double vccmin_volts, double icc_virus_amps) const
+    {
+        return vccmin_volts + rll_ * icc_virus_amps;
+    }
+
+    /**
+     * Guardband (Equation 1): ΔV = (Cdyn2 − Cdyn1) · Vcc1 · F · RLL.
+     *
+     * @param dcdyn_farad Dynamic-capacitance difference between virus
+     *                    levels, in farads.
+     * @param vcc_volts Supply voltage at the lower level.
+     * @param freq_hz Core clock frequency.
+     */
+    double
+    guardband(double dcdyn_farad, double vcc_volts, double freq_hz) const
+    {
+        return dcdyn_farad * vcc_volts * freq_hz * rll_;
+    }
+
+  private:
+    double rll_;
+};
+
+} // namespace ich
+
+#endif // ICH_PDN_LOADLINE_HH

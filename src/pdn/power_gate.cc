@@ -1,0 +1,58 @@
+#include "pdn/power_gate.hh"
+
+namespace ich
+{
+
+PowerGate::PowerGate(EventQueue &eq, Rng &rng, const PowerGateConfig &cfg)
+    : eq_(eq), rng_(rng), cfg_(cfg), closed_(cfg.present)
+{
+}
+
+Time
+PowerGate::open()
+{
+    if (!cfg_.present)
+        return 0;
+    lastUse_ = eq_.now();
+    if (!closed_) {
+        scheduleClose();
+        return 0;
+    }
+    closed_ = false;
+    ++opens_;
+    scheduleClose();
+    return rng_.uniformInt(cfg_.wakeLatencyMin, cfg_.wakeLatencyMax);
+}
+
+void
+PowerGate::touch()
+{
+    if (!cfg_.present)
+        return;
+    lastUse_ = eq_.now();
+    if (!closed_)
+        scheduleClose();
+}
+
+void
+PowerGate::scheduleClose()
+{
+    if (closeEvent_ != EventQueue::kInvalidEvent)
+        eq_.deschedule(closeEvent_);
+    closeEvent_ = eq_.schedule(lastUse_ + cfg_.idleCloseDelay,
+                               [this] { maybeClose(); });
+}
+
+void
+PowerGate::maybeClose()
+{
+    closeEvent_ = EventQueue::kInvalidEvent;
+    if (closed_)
+        return;
+    if (eq_.now() >= lastUse_ + cfg_.idleCloseDelay)
+        closed_ = true;
+    else
+        scheduleClose();
+}
+
+} // namespace ich

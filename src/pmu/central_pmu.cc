@@ -1,0 +1,380 @@
+#include "pmu/central_pmu.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ich
+{
+
+namespace
+{
+constexpr double kGhzEps = 1e-6;
+} // namespace
+
+CentralPmu::CentralPmu(EventQueue &eq, Rng &rng, const PmuConfig &cfg,
+                       PmuHooks &hooks)
+    : eq_(eq), rng_(rng), cfg_(cfg), hooks_(hooks),
+      gbModel_(LoadLine(cfg.rllOhm), cfg.vf),
+      powerModel_(gbModel_, cfg.leakagePerCoreAmps, hooks.numCores()),
+      governor_(cfg.governor)
+{
+    coreState_.assign(hooks_.numCores(), CoreState{});
+
+    // Initial frequency: governor request clipped by limits at idle.
+    double desired = governor_.requestGhz(cfg_.pstate.minGhz,
+                                          cfg_.pstate.binsGhz.back());
+    desired = snapDownToBin(desired, cfg_.pstate.binsGhz);
+    std::vector<CoreActivity> idle(hooks_.numCores());
+    if (cfg_.secureMode) {
+        int top = gbModel_.numLevels() - 1;
+        for (auto &a : idle)
+            a.gbLevel = top;
+        for (auto &cs : coreState_) {
+            cs.granted = top;
+            cs.pending = top;
+        }
+    }
+    double limit = powerModel_.maxFreqGhz(idle, cfg_.limits,
+                                          cfg_.pstate.binsGhz);
+    freqGhz_ = std::min(desired, limit);
+
+    // One VR/SVID per domain, initialized at the target for the initial
+    // frequency (in secure mode this already includes the worst-case
+    // guardband for every core).
+    // Rails come up already settled at the initial operating point
+    // (computeDomainTarget only needs coreState_ and the models).
+    int domains = cfg_.perCoreVr ? hooks_.numCores() : 1;
+    for (int d = 0; d < domains; ++d) {
+        vrs_.push_back(std::make_unique<VoltageRegulator>(
+            eq_, cfg_.vr, computeDomainTarget(d),
+            "vr" + std::to_string(d), &rng_));
+        svids_.push_back(std::make_unique<Svid>(eq_, *vrs_.back()));
+    }
+
+    powerLimiter_ = std::make_unique<PowerLimiter>(
+        eq_, cfg_.powerLimit, cfg_.pstate.binsGhz,
+        [this] { return averagePowerSinceProbe(); },
+        [this] { reevaluateFreq(); },
+        [this] {
+            // Highest bin whose projected power at the instantaneous
+            // activity fits the budget.
+            auto act = activityWithLevels();
+            const auto &bins = cfg_.pstate.binsGhz;
+            for (auto it = bins.rbegin(); it != bins.rend(); ++it)
+                if (powerModel_.powerWatts(*it, act) <=
+                    cfg_.powerLimit.limitWatts)
+                    return *it;
+            return bins.front();
+        });
+}
+
+int
+CentralPmu::effectiveLevel(const CoreState &cs) const
+{
+    return std::max(cs.granted, cs.pending);
+}
+
+int
+CentralPmu::maxLevelAllCores() const
+{
+    int lvl = 0;
+    for (const auto &cs : coreState_)
+        lvl = std::max(lvl, cs.licenseLevel);
+    return lvl;
+}
+
+double
+CentralPmu::computeDomainTarget(int domain) const
+{
+    double v = gbModel_.baseVolts(freqGhz_);
+    for (CoreId c = 0; c < hooks_.numCores(); ++c) {
+        if (domainOf(c) != domain)
+            continue;
+        v += gbModel_.gbVolts(effectiveLevel(coreState_[c]), freqGhz_);
+    }
+    return v;
+}
+
+std::vector<CoreActivity>
+CentralPmu::activityWithLevels() const
+{
+    std::vector<CoreActivity> act = hooks_.coreActivity();
+    for (CoreId c = 0;
+         c < std::min<CoreId>(act.size(), coreState_.size()); ++c)
+        act[c].gbLevel = effectiveLevel(coreState_[c]);
+    return act;
+}
+
+double
+CentralPmu::voltsDomain(int domain) const
+{
+    return vrs_.at(domain)->volts();
+}
+
+double
+CentralPmu::iccAmps() const
+{
+    return powerModel_.iccAmps(freqGhz_, volts(), hooks_.coreActivity());
+}
+
+double
+CentralPmu::powerWatts() const
+{
+    return volts() * iccAmps();
+}
+
+int
+CentralPmu::grantedLevel(CoreId core) const
+{
+    return coreState_.at(core).granted;
+}
+
+void
+CentralPmu::onPhiStart(CoreId core, int smt, InstClass cls)
+{
+    accrueEnergy();
+    auto &cs = coreState_.at(core);
+    int lvl = traits(cls).guardbandLevel;
+    if (isPhi(cls)) {
+        cs.lastPhi = eq_.now();
+        cs.licenseLevel = std::max(cs.licenseLevel, lvl);
+        scheduleDecay(core);
+    }
+    // In secure mode the rail is pinned at the worst-case guardband, so
+    // no transition / throttle — but the turbo license still reacts.
+    if (!cfg_.secureMode && lvl > effectiveLevel(cs)) {
+        ++voltageRequests_;
+        cs.pending = lvl;
+        if (!cs.throttledForV) {
+            cs.throttledForV = true;
+            hooks_.assertCoreThrottle(core, ThrottleReason::kVoltageRamp,
+                                      smt);
+        }
+        submitUpTransition(core, lvl, domainOf(core));
+    }
+    reevaluateFreq();
+}
+
+void
+CentralPmu::submitUpTransition(CoreId core, int lvl, int domain)
+{
+    double target = computeDomainTarget(domain);
+    svids_[domain]->submit(
+        target, /*is_increase=*/true, [this, core, lvl, domain] {
+            auto &cs = coreState_.at(core);
+            cs.granted = std::max(cs.granted, lvl);
+            if (cs.pending <= cs.granted)
+                cs.pending = cs.granted;
+            if (svids_[domain]->upTransitionsInFlight() == 0)
+                releaseDomainThrottles(domain);
+        });
+}
+
+void
+CentralPmu::releaseDomainThrottles(int domain)
+{
+    for (CoreId c = 0; c < hooks_.numCores(); ++c) {
+        if (domainOf(c) != domain)
+            continue;
+        auto &cs = coreState_[c];
+        if (cs.throttledForV) {
+            cs.throttledForV = false;
+            hooks_.deassertCoreThrottle(c, ThrottleReason::kVoltageRamp);
+        }
+    }
+}
+
+void
+CentralPmu::onKernelEnd(CoreId core, int smt, InstClass cls)
+{
+    (void)smt;
+    auto &cs = coreState_.at(core);
+    if (isPhi(cls)) {
+        cs.lastPhi = eq_.now();
+        scheduleDecay(core);
+    }
+}
+
+void
+CentralPmu::scheduleDecay(CoreId core)
+{
+    auto &cs = coreState_.at(core);
+    if (cs.decayEvent != EventQueue::kInvalidEvent)
+        eq_.deschedule(cs.decayEvent);
+    Time when = std::max(eq_.now() + fromMicroseconds(1),
+                         cs.lastPhi + cfg_.resetTime);
+    cs.decayEvent = eq_.schedule(when, [this, core] { decayCheck(core); });
+}
+
+void
+CentralPmu::decayCheck(CoreId core)
+{
+    auto &cs = coreState_.at(core);
+    cs.decayEvent = EventQueue::kInvalidEvent;
+    if (eq_.now() < cs.lastPhi + cfg_.resetTime) {
+        scheduleDecay(core);
+        return;
+    }
+    // A long-running PHI kernel keeps the guardband alive even though its
+    // start stamp has aged past the reset-time.
+    if (hooks_.coreActivity().at(core).activeGbLevel > 0) {
+        cs.lastPhi = eq_.now();
+        scheduleDecay(core);
+        return;
+    }
+    if (cs.throttledForV) {
+        // An up-transition is still in flight; retry one reset-time later.
+        scheduleDecay(core);
+        return;
+    }
+    bool license_held = cs.licenseLevel > 0;
+    cs.licenseLevel = 0;
+    if (cfg_.secureMode || (cs.granted == 0 && cs.pending == 0)) {
+        if (license_held)
+            reevaluateFreq(); // license relaxed
+        return;
+    }
+    accrueEnergy();
+    cs.granted = 0;
+    cs.pending = 0;
+    int domain = domainOf(core);
+    svids_[domain]->submit(computeDomainTarget(domain),
+                           /*is_increase=*/false);
+    reevaluateFreq(); // license may have relaxed
+}
+
+void
+CentralPmu::onActivityChanged()
+{
+    accrueEnergy();
+    reevaluateFreq();
+}
+
+void
+CentralPmu::writeGovernor(GovernorPolicy policy, double userspace_ghz)
+{
+    eq_.scheduleIn(governor_.applyLatency(),
+                   [this, policy, userspace_ghz] {
+                       governor_.setPolicy(policy);
+                       governor_.setUserspaceGhz(userspace_ghz);
+                       reevaluateFreq();
+                   });
+}
+
+void
+CentralPmu::reevaluateFreq()
+{
+    if (pstateInFlight_)
+        return;
+    double gov = governor_.requestGhz(cfg_.pstate.minGhz,
+                                      cfg_.pstate.binsGhz.back());
+    double cap = powerLimiter_->capGhz();
+    int license = licenseForGbLevel(maxLevelAllCores());
+    double license_cap = cfg_.pstate.licenseMaxGhz[license];
+
+    double limit = powerModel_.maxFreqGhz(activityWithLevels(),
+                                          cfg_.limits,
+                                          cfg_.pstate.binsGhz);
+    double nolicense = std::min(
+        snapDownToBin(std::min(gov, cap), cfg_.pstate.binsGhz), limit);
+    double desired = std::min(
+        nolicense, snapDownToBin(license_cap, cfg_.pstate.binsGhz));
+
+    if (desired < freqGhz_ - kGhzEps) {
+        if (upclockEvent_ != EventQueue::kInvalidEvent) {
+            eq_.deschedule(upclockEvent_);
+            upclockEvent_ = EventQueue::kInvalidEvent;
+        }
+        // Remember whether the license was the (strictly) binding
+        // constraint: its relaxation is slow (milliseconds).
+        licenseCausedDownclock_ = desired < nolicense - kGhzEps;
+        startPstateTransition(desired);
+    } else if (desired > freqGhz_ + kGhzEps) {
+        scheduleUpclock();
+    }
+}
+
+void
+CentralPmu::startPstateTransition(double target_ghz)
+{
+    assert(!pstateInFlight_);
+    pstateInFlight_ = true;
+    ++pstateCount_;
+    for (CoreId c = 0; c < hooks_.numCores(); ++c)
+        hooks_.assertCoreThrottle(c, ThrottleReason::kPstate, 0);
+    eq_.scheduleIn(cfg_.pstate.transitionLatency, [this, target_ghz] {
+        accrueEnergy();
+        freqGhz_ = target_ghz;
+        for (CoreId c = 0; c < hooks_.numCores(); ++c)
+            hooks_.deassertCoreThrottle(c, ThrottleReason::kPstate);
+        pstateInFlight_ = false;
+        for (int d = 0; d < numDomains(); ++d) {
+            double target = computeDomainTarget(d);
+            svids_[d]->submit(target,
+                              target > vrs_[d]->volts() + 1e-9);
+        }
+        reevaluateFreq();
+    });
+}
+
+void
+CentralPmu::scheduleUpclock()
+{
+    if (upclockEvent_ != EventQueue::kInvalidEvent)
+        return;
+    // A downclock that was license-caused relaxes only after the slow
+    // license-release delay (what TurboCC modulates); other upclocks
+    // (governor, power-cap) apply after a short settling delay.
+    Time delay = licenseCausedDownclock_
+                     ? cfg_.pstate.licenseReleaseDelay
+                     : cfg_.upclockDelay;
+    upclockEvent_ = eq_.scheduleIn(delay, [this] {
+        upclockEvent_ = EventQueue::kInvalidEvent;
+        if (pstateInFlight_)
+            return;
+        // Recompute; conditions may have changed while waiting.
+        double gov = governor_.requestGhz(cfg_.pstate.minGhz,
+                                          cfg_.pstate.binsGhz.back());
+        double cap = powerLimiter_->capGhz();
+        int license = licenseForGbLevel(maxLevelAllCores());
+        double desired = std::min({gov, cap,
+                                   cfg_.pstate.licenseMaxGhz[license]});
+        desired = snapDownToBin(desired, cfg_.pstate.binsGhz);
+        desired = std::min(desired,
+                           powerModel_.maxFreqGhz(activityWithLevels(),
+                                                  cfg_.limits,
+                                                  cfg_.pstate.binsGhz));
+        if (desired > freqGhz_ + kGhzEps) {
+            licenseCausedDownclock_ = false;
+            startPstateTransition(desired);
+        }
+    });
+}
+
+void
+CentralPmu::accrueEnergy()
+{
+    Time now = eq_.now();
+    if (now <= energyMark_) {
+        energyMark_ = now;
+        return;
+    }
+    double watts = powerWatts();
+    energyJoules_ += watts * toSeconds(now - energyMark_);
+    energyMark_ = now;
+}
+
+double
+CentralPmu::averagePowerSinceProbe()
+{
+    accrueEnergy();
+    Time now = eq_.now();
+    double joules = energyJoules_ - probeEnergyJoules_;
+    double seconds = toSeconds(now - probeMark_);
+    probeMark_ = now;
+    probeEnergyJoules_ = energyJoules_;
+    return seconds > 0.0 ? joules / seconds : 0.0;
+}
+
+} // namespace ich

@@ -1,0 +1,4 @@
+#include "pmu/governor.hh"
+
+// Governor is header-only; translation unit reserved for future policy
+// logic (e.g. ondemand sampling).

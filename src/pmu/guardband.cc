@@ -1,0 +1,36 @@
+#include "pmu/guardband.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ich
+{
+
+GuardbandModel::GuardbandModel(const LoadLine &ll, const VfCurve &vf)
+    : ll_(ll), vf_(vf)
+{
+    cdynNf_.assign(numGuardbandLevels(), 0.0);
+    for (auto cls : kAllInstClasses) {
+        const InstTraits &tr = traits(cls);
+        cdynNf_[tr.guardbandLevel] =
+            std::max(cdynNf_[tr.guardbandLevel], tr.deltaCdynNf);
+    }
+}
+
+double
+GuardbandModel::levelCdynNf(int level) const
+{
+    if (level < 0 || level >= numLevels())
+        throw std::out_of_range("GuardbandModel: bad level");
+    return cdynNf_[level];
+}
+
+double
+GuardbandModel::gbVolts(int level, double freq_ghz) const
+{
+    double dcdyn_farad = levelCdynNf(level) * 1e-9;
+    return ll_.guardband(dcdyn_farad, baseVolts(freq_ghz),
+                         freq_ghz * 1e9);
+}
+
+} // namespace ich

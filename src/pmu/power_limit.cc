@@ -1,0 +1,65 @@
+#include "pmu/power_limit.hh"
+
+#include <stdexcept>
+#include <utility>
+
+namespace ich
+{
+
+PowerLimiter::PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
+                           std::vector<double> bins_ghz, PowerProbe probe,
+                           CapChanged on_change, SetpointProbe setpoint)
+    : eq_(eq), cfg_(cfg), binsGhz_(std::move(bins_ghz)),
+      probe_(std::move(probe)), onChange_(std::move(on_change)),
+      setpoint_(std::move(setpoint))
+{
+    if (binsGhz_.empty())
+        throw std::invalid_argument("PowerLimiter: no frequency bins");
+    capIdx_ = binsGhz_.size() - 1;
+    if (cfg_.enabled)
+        eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+}
+
+double
+PowerLimiter::capGhz() const
+{
+    return binsGhz_[capIdx_];
+}
+
+std::size_t
+PowerLimiter::indexAtOrBelow(double ghz) const
+{
+    std::size_t idx = 0;
+    for (std::size_t i = 0; i < binsGhz_.size(); ++i)
+        if (binsGhz_[i] <= ghz + 1e-9)
+            idx = i;
+    return idx;
+}
+
+void
+PowerLimiter::evaluate()
+{
+    ++evals_;
+    double avg_watts = probe_ ? probe_() : 0.0;
+    std::size_t old_idx = capIdx_;
+    if (setpoint_) {
+        // Setpoint controller (RAPL-style): jump to the highest bin
+        // whose projected power at current activity fits the budget.
+        std::size_t target = indexAtOrBelow(setpoint_());
+        if (avg_watts > cfg_.limitWatts && target < capIdx_)
+            capIdx_ = target;
+        else if (avg_watts < cfg_.limitWatts * cfg_.raiseBelowFraction &&
+                 target > capIdx_)
+            capIdx_ = target;
+    } else if (avg_watts > cfg_.limitWatts && capIdx_ > 0) {
+        --capIdx_;
+    } else if (avg_watts < cfg_.limitWatts * cfg_.raiseBelowFraction &&
+               capIdx_ + 1 < binsGhz_.size()) {
+        ++capIdx_;
+    }
+    if (capIdx_ != old_idx && onChange_)
+        onChange_();
+    eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+}
+
+} // namespace ich

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Running-average power limiter (RAPL PL1-style controller).
+ *
+ * Evaluates average package power every `evalInterval`; when over budget
+ * it lowers the frequency cap one bin, when comfortably under it raises
+ * the cap one bin. Its multi-millisecond reaction time is the mechanism
+ * the PowerT baseline channel (Khatamifard et al., HPCA'19) modulates.
+ * Disabled by default — IChannels itself does not depend on it.
+ */
+
+#ifndef ICH_PMU_POWER_LIMIT_HH
+#define ICH_PMU_POWER_LIMIT_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+
+namespace ich
+{
+
+/** Power-limit controller configuration. */
+struct PowerLimitConfig {
+    bool enabled = false;
+    double limitWatts = 15.0;
+    Time evalInterval = fromMilliseconds(4.0);
+    /** Hysteresis: raise the cap only when below this fraction of PL. */
+    double raiseBelowFraction = 0.85;
+};
+
+/**
+ * Periodic controller. The owner supplies a callback returning average
+ * power since the previous evaluation and is notified when the cap moves.
+ */
+class PowerLimiter
+{
+  public:
+    using PowerProbe = std::function<double()>;
+    using CapChanged = std::function<void()>;
+    /** Highest frequency whose *projected* power fits the budget. */
+    using SetpointProbe = std::function<double()>;
+
+    PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
+                 std::vector<double> bins_ghz, PowerProbe probe,
+                 CapChanged on_change,
+                 SetpointProbe setpoint = nullptr);
+
+    /** Current frequency cap, GHz (top bin when unconstrained). */
+    double capGhz() const;
+
+    bool enabled() const { return cfg_.enabled; }
+
+    /** Number of completed evaluations (tests). */
+    std::uint64_t evaluations() const { return evals_; }
+
+  private:
+    EventQueue &eq_;
+    PowerLimitConfig cfg_;
+    std::vector<double> binsGhz_;
+    PowerProbe probe_;
+    CapChanged onChange_;
+    SetpointProbe setpoint_;
+    std::size_t capIdx_;
+    std::uint64_t evals_ = 0;
+
+    void evaluate();
+    std::size_t indexAtOrBelow(double ghz) const;
+};
+
+} // namespace ich
+
+#endif // ICH_PMU_POWER_LIMIT_HH

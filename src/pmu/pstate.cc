@@ -1,0 +1,29 @@
+#include "pmu/pstate.hh"
+
+#include <algorithm>
+
+namespace ich
+{
+
+int
+licenseForGbLevel(int gb_level)
+{
+    if (gb_level >= 4)
+        return 2; // 512-bit heavy: LVL2
+    if (gb_level >= 2)
+        return 1; // 256-bit and up: LVL1
+    return 0;
+}
+
+double
+snapDownToBin(double ghz, const std::vector<double> &bins_ghz)
+{
+    double best = bins_ghz.empty() ? ghz : bins_ghz.front();
+    for (double b : bins_ghz) {
+        if (b <= ghz + 1e-9)
+            best = std::max(best, b);
+    }
+    return best;
+}
+
+} // namespace ich

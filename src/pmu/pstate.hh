@@ -1,0 +1,45 @@
+/**
+ * @file
+ * P-state (frequency bin) table and turbo-license mapping (paper §5.3).
+ *
+ * Intel exposes three turbo licenses (LVL{0,1,2}_TURBO_LICENSE) keyed to
+ * the computational intensity of in-flight instructions; each license caps
+ * the attainable turbo frequency. These license-driven caps are distinct
+ * from the five guardband levels (§5.5, footnote 11). The license-release
+ * delay (milliseconds) is what makes the TurboCC baseline slow.
+ */
+
+#ifndef ICH_PMU_PSTATE_HH
+#define ICH_PMU_PSTATE_HH
+
+#include <array>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace ich
+{
+
+/** P-state / turbo-license configuration. */
+struct PstateConfig {
+    /** Allowed frequency bins, GHz, ascending. */
+    std::vector<double> binsGhz;
+    /** Minimum operating frequency. */
+    double minGhz = 0.8;
+    /** Max turbo at license LVL0 / LVL1 / LVL2. */
+    std::array<double, 3> licenseMaxGhz = {4.9, 4.3, 3.6};
+    /** PLL relock + voltage retarget time; core throttled meanwhile. */
+    Time transitionLatency = fromMicroseconds(10);
+    /** Delay before re-raising frequency after a license relaxes. */
+    Time licenseReleaseDelay = fromMilliseconds(12);
+};
+
+/** Map a guardband level (0..4) to a turbo license (0..2). */
+int licenseForGbLevel(int gb_level);
+
+/** Snap @p ghz to the nearest bin at or below it (lowest bin if none). */
+double snapDownToBin(double ghz, const std::vector<double> &bins_ghz);
+
+} // namespace ich
+
+#endif // ICH_PMU_PSTATE_HH

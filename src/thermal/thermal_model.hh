@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lumped-RC junction-temperature model.
+ *
+ * dT/dt = (P − (T − Tamb)/Rth) / Cth, integrated in closed form per
+ * constant-power segment: T(t) = T∞ + (T0 − T∞)·exp(−t/(Rth·Cth)) with
+ * T∞ = Tamb + P·Rth.
+ *
+ * The paper uses temperature only to *rule out* thermal causes (Key
+ * Conclusion 2, Fig. 7b: Tj stays near 60 °C, far below Tjmax = 100 °C,
+ * while current limits throttle frequency within tens of microseconds).
+ * The multi-second RC time constant here reproduces exactly that
+ * separation of timescales.
+ */
+
+#ifndef ICH_THERMAL_THERMAL_MODEL_HH
+#define ICH_THERMAL_THERMAL_MODEL_HH
+
+#include "common/types.hh"
+
+namespace ich
+{
+
+/** Thermal configuration. */
+struct ThermalConfig {
+    double ambientCelsius = 35.0;
+    double tjMaxCelsius = 100.0;
+    /** Junction-to-ambient thermal resistance, °C/W. */
+    double rThermal = 1.4;
+    /** Thermal capacitance, J/°C (sets the multi-second time constant). */
+    double cThermal = 2.0;
+};
+
+/** One thermal node driven by piecewise-constant power. */
+class ThermalModel
+{
+  public:
+    explicit ThermalModel(const ThermalConfig &cfg);
+
+    /**
+     * Advance to @p now assuming @p watts was dissipated since the last
+     * call, then return the junction temperature.
+     */
+    double update(Time now, double watts);
+
+    /** Last computed junction temperature (no time advance). */
+    double celsius() const { return tempC_; }
+
+    double tjMax() const { return cfg_.tjMaxCelsius; }
+    bool overTjMax() const { return tempC_ > cfg_.tjMaxCelsius; }
+
+    const ThermalConfig &config() const { return cfg_; }
+
+  private:
+    ThermalConfig cfg_;
+    double tempC_;
+    Time lastUpdate_ = 0;
+};
+
+} // namespace ich
+
+#endif // ICH_THERMAL_THERMAL_MODEL_HH

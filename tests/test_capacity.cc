@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the empirical channel-capacity estimator (Millen [72]).
+ */
+
+#include <gtest/gtest.h>
+
+#include "channels/capacity.hh"
+#include "channels/thread_channel.hh"
+#include "chip/presets.hh"
+#include "mitigations/mitigations.hh"
+
+namespace ich
+{
+namespace
+{
+
+SymbolSamples
+syntheticSamples(double separation, double jitter_steps)
+{
+    // Symbol s clusters at s*separation with small deterministic spread.
+    SymbolSamples samples;
+    for (int s = 0; s < kNumSymbols; ++s)
+        for (int i = 0; i < 32; ++i)
+            samples[s].push_back(s * separation +
+                                 (i % 5) * jitter_steps);
+    return samples;
+}
+
+TEST(Capacity, PerfectlySeparableGivesTwoBits)
+{
+    SymbolSamples samples = syntheticSamples(10.0, 0.1);
+    double mi = CapacityEstimator::mutualInformationBits(samples);
+    EXPECT_NEAR(mi, 2.0, 0.01);
+}
+
+TEST(Capacity, IdenticalDistributionsGiveZeroBits)
+{
+    SymbolSamples samples = syntheticSamples(0.0, 0.1);
+    double mi = CapacityEstimator::mutualInformationBits(samples);
+    EXPECT_NEAR(mi, 0.0, 0.05);
+}
+
+TEST(Capacity, DegenerateConstantGivesZero)
+{
+    SymbolSamples samples;
+    for (int s = 0; s < kNumSymbols; ++s)
+        samples[s].assign(8, 5.0);
+    EXPECT_DOUBLE_EQ(
+        CapacityEstimator::mutualInformationBits(samples), 0.0);
+}
+
+TEST(Capacity, OverlapReducesInformation)
+{
+    double clean = CapacityEstimator::mutualInformationBits(
+        syntheticSamples(10.0, 0.1));
+    // Step 0.5 with separation 1.0 makes adjacent symbols share exact
+    // sample values: genuinely overlapping distributions.
+    double noisy = CapacityEstimator::mutualInformationBits(
+        syntheticSamples(1.0, 0.5));
+    EXPECT_LT(noisy, clean);
+    EXPECT_GT(noisy, 0.0);
+}
+
+TEST(Capacity, RejectsBadInput)
+{
+    SymbolSamples empty;
+    empty[0].push_back(1.0); // others empty
+    EXPECT_THROW(CapacityEstimator::mutualInformationBits(empty),
+                 std::invalid_argument);
+    EXPECT_THROW(CapacityEstimator::mutualInformationBits(
+                     syntheticSamples(1.0, 0.1), 1),
+                 std::invalid_argument);
+}
+
+TEST(Capacity, RealChannelCarriesNearTwoBits)
+{
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = 101;
+    IccThreadCovert ch(cfg);
+    SymbolSamples samples = CapacityEstimator::measure(ch, 16);
+    double mi = CapacityEstimator::mutualInformationBits(samples, 48);
+    EXPECT_GT(mi, 1.9);
+    double bps =
+        CapacityEstimator::capacityBps(samples, cfg.period, 48);
+    EXPECT_GT(bps, 2600.0); // ≈ 2 bits / 710 us ≈ 2.8 kb/s
+    EXPECT_LT(bps, 2900.0);
+}
+
+TEST(Capacity, SecureModeLeavesOnlyPowerGateResidue)
+{
+    // Secure mode kills the 2-bit intensity channel, but the ~10 ns AVX
+    // power-gate wake-up still separates the one non-AVX symbol (00 =
+    // 128b_Heavy) from the three AVX ones: at most H(1/4, 3/4) ≈ 0.811
+    // bits survive — and only because our simulated receiver has no
+    // timing-noise floor at the nanosecond scale.
+    ChannelConfig cfg;
+    cfg.chip = mitigations::withSecureMode(presets::cannonLake());
+    cfg.seed = 102;
+    IccThreadCovert ch(cfg);
+    SymbolSamples samples = CapacityEstimator::measure(ch, 12);
+    double mi = CapacityEstimator::mutualInformationBits(samples, 32);
+    EXPECT_LT(mi, 0.85);
+
+    // Disabling the AVX power gate removes the residue entirely.
+    ChannelConfig no_pg = cfg;
+    no_pg.chip.core.avxGate.present = false;
+    IccThreadCovert ch2(no_pg);
+    SymbolSamples s2 = CapacityEstimator::measure(ch2, 12);
+    EXPECT_LT(CapacityEstimator::mutualInformationBits(s2, 32), 0.05);
+}
+
+TEST(Capacity, NoiseReducesCapacity)
+{
+    ChannelConfig clean_cfg;
+    clean_cfg.chip = presets::cannonLake();
+    clean_cfg.seed = 103;
+    IccThreadCovert clean(clean_cfg);
+    double mi_clean = CapacityEstimator::mutualInformationBits(
+        CapacityEstimator::measure(clean, 12), 32);
+
+    ChannelConfig noisy_cfg = clean_cfg;
+    noisy_cfg.app.phiRatePerSec = 10000.0;
+    noisy_cfg.noise.contextSwitchRatePerSec = 10000.0;
+    IccThreadCovert noisy(noisy_cfg);
+    double mi_noisy = CapacityEstimator::mutualInformationBits(
+        CapacityEstimator::measure(noisy, 12), 32);
+    EXPECT_LT(mi_noisy, mi_clean);
+}
+
+} // namespace
+} // namespace ich

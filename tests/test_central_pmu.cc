@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the central PMU's guardband / throttle orchestration on a
+ * full chip: throttle-on-PHI, release-on-settle, level upgrades,
+ * secure-mode, P-state transitions at turbo.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+
+ChipConfig
+noJitter(ChipConfig cfg)
+{
+    cfg.pmu.vr.commandJitter = 0;
+    return cfg;
+}
+
+TEST(CentralPmu, PhiAssertsThrottleUntilRampSettles)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k512Heavy, 600, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    // Immediately after the PHI starts the core must be throttled.
+    sim.eq().runUntil(fromNanoseconds(100));
+    EXPECT_TRUE(chip.core(0).throttle().throttled());
+    // After the ramp (~10 us at these parameters) it must be released.
+    sim.eq().runUntil(fromMicroseconds(20));
+    EXPECT_FALSE(chip.core(0).throttle().throttled());
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 4);
+}
+
+TEST(CentralPmu, VoltageRisesByGuardband)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k256Heavy, 600, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.eq().runUntil(fromMicroseconds(30));
+    double expected =
+        chip.pmu().guardbandModel().gbVolts(3, chip.freqGhz());
+    EXPECT_NEAR(chip.vccVolts() - v0, expected, 1e-4);
+}
+
+TEST(CentralPmu, NonPhiNeverThrottles)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::kScalar64, 1000, 100);
+    p.loop(InstClass::k128Light, 1000, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(chip.core(0).throttle().assertCount(), 0u);
+    EXPECT_EQ(chip.pmu().voltageRequests(), 0u);
+}
+
+TEST(CentralPmu, SecondPhiAtSameLevelNotThrottled)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k256Heavy, 400, 100);
+    p.idle(fromMicroseconds(50)); // well inside the 650 us reset-time
+    p.loop(InstClass::k256Heavy, 400, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    // Only the first loop requested a transition.
+    EXPECT_EQ(chip.pmu().voltageRequests(), 1u);
+}
+
+TEST(CentralPmu, HigherLevelPhiUpgradesGuardband)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k128Heavy, 400, 100);
+    p.idle(fromMicroseconds(50));
+    p.loop(InstClass::k512Heavy, 400, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(chip.pmu().voltageRequests(), 2u);
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 4);
+}
+
+TEST(CentralPmu, LowerLevelAfterHigherNotThrottled)
+{
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k512Heavy, 400, 100);
+    p.idle(fromMicroseconds(50));
+    p.loop(InstClass::k128Heavy, 400, 100); // voltage already covers it
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(chip.pmu().voltageRequests(), 1u);
+}
+
+TEST(CentralPmu, SecureModeNeverThrottlesNorTransitions)
+{
+    ChipConfig cfg = noJitter(pinnedCannonLake(1.4));
+    cfg.pmu.secureMode = true;
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k512Heavy, 600, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(chip.core(0).throttle().assertCount(), 0u);
+    EXPECT_EQ(chip.pmu().voltageRequests(), 0u);
+    EXPECT_DOUBLE_EQ(chip.vccVolts(), v0);
+    // Secure-mode voltage already includes the worst-case guardband.
+    double base = chip.pmu().guardbandModel().baseVolts(chip.freqGhz());
+    EXPECT_GT(v0, base);
+}
+
+TEST(CentralPmu, TurboAvx2TriggersPstateReduction)
+{
+    // Fig. 7b shape: at max turbo, starting AVX2 forces a frequency
+    // reduction within tens of microseconds (current limit, not heat).
+    ChipConfig cfg = noJitter(presets::cannonLake());
+    cfg.pmu.governor.policy = GovernorPolicy::kPerformance;
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    double f0 = chip.freqGhz();
+    EXPECT_NEAR(f0, 3.2, 1e-9);
+    // Two cores run AVX2-heavy.
+    for (int c = 0; c < 2; ++c) {
+        Program p;
+        p.loop(InstClass::k256Heavy, 200000, 100);
+        chip.core(c).thread(0).setProgram(std::move(p));
+        chip.core(c).thread(0).start();
+    }
+    sim.eq().runUntil(fromMicroseconds(200));
+    EXPECT_LT(chip.freqGhz(), f0);
+    EXPECT_LE(chip.freqGhz(), cfg.pmu.pstate.licenseMaxGhz[1] + 1e-9);
+    EXPECT_GE(chip.pmu().pstateTransitions(), 1u);
+    // Current must now be within the mobile Iccmax (29 A).
+    EXPECT_LE(chip.iccAmps(), cfg.pmu.limits.iccMaxAmps + 0.5);
+}
+
+TEST(CentralPmu, FixedLowFrequencyNeverChangesFrequency)
+{
+    // Fig. 6 conclusion 2: at low pinned frequency only the voltage
+    // moves, never the clock.
+    Simulation sim(noJitter(pinnedCannonLake(1.4)));
+    Chip &chip = sim.chip();
+    HwThread &thr = chip.core(0).thread(0);
+    Program p;
+    for (int i = 0; i < 5; ++i) {
+        p.loop(InstClass::k512Heavy, 400, 100);
+        p.idle(fromMicroseconds(100));
+    }
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_DOUBLE_EQ(chip.freqGhz(), 1.4);
+    EXPECT_EQ(chip.pmu().pstateTransitions(), 0u);
+}
+
+TEST(CentralPmu, GovernorWriteTakesEffectAfterLatency)
+{
+    ChipConfig cfg = noJitter(pinnedCannonLake(1.4));
+    cfg.pmu.governor.applyLatency = fromMicroseconds(100);
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    chip.pmu().writeGovernor(GovernorPolicy::kUserspace, 2.0);
+    sim.eq().runUntil(fromMicroseconds(50));
+    EXPECT_DOUBLE_EQ(chip.freqGhz(), 1.4);
+    // Upclock also waits for the (non-license) upclock delay + P-state.
+    sim.eq().runUntil(fromMilliseconds(5));
+    EXPECT_DOUBLE_EQ(chip.freqGhz(), 2.0);
+}
+
+} // namespace
+} // namespace ich

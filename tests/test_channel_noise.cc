@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Channel accuracy under system noise (paper §6.3, Fig. 14): BER stays
+ * low under interrupt/context-switch noise, grows with concurrent
+ * App-PHI injection rate, and error-control coding recovers payloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "channels/thread_channel.hh"
+#include "chip/presets.hh"
+
+namespace ich
+{
+namespace
+{
+
+BitVec
+pseudoRandomBits(std::size_t n, unsigned seed = 1)
+{
+    BitVec bits;
+    unsigned x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    return bits;
+}
+
+ChannelConfig
+baseConfig()
+{
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = 21;
+    return cfg;
+}
+
+TEST(ChannelNoise, ModerateInterruptNoiseKeepsBerLow)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.noise.interruptRatePerSec = 1000.0;
+    IccThreadCovert ch(cfg);
+    TransmitResult res = ch.transmit(pseudoRandomBits(60));
+    // Fig. 14a: BER < ~0.08 even in noisy systems.
+    EXPECT_LT(res.ber, 0.10);
+}
+
+TEST(ChannelNoise, BerGrowsWithInterruptRate)
+{
+    double ber_low, ber_high;
+    {
+        ChannelConfig cfg = baseConfig();
+        cfg.noise.interruptRatePerSec = 100.0;
+        IccThreadCovert ch(cfg);
+        ber_low = ch.transmit(pseudoRandomBits(80)).ber;
+    }
+    {
+        ChannelConfig cfg = baseConfig();
+        cfg.noise.interruptRatePerSec = 20000.0;
+        IccThreadCovert ch(cfg);
+        ber_high = ch.transmit(pseudoRandomBits(80)).ber;
+    }
+    EXPECT_LE(ber_low, ber_high);
+    EXPECT_GT(ber_high, 0.0); // dense noise must cause some errors
+}
+
+TEST(ChannelNoise, AppPhiNoiseCausesErrors)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.app.phiRatePerSec = 10000.0; // Fig. 14c rightmost point
+    IccThreadCovert ch(cfg);
+    TransmitResult res = ch.transmit(pseudoRandomBits(60));
+    EXPECT_GT(res.ber, 0.01);
+}
+
+TEST(ChannelNoise, AppPhiBerGrowsWithRate)
+{
+    double ber_lo, ber_hi;
+    {
+        ChannelConfig cfg = baseConfig();
+        cfg.app.phiRatePerSec = 10.0;
+        IccThreadCovert ch(cfg);
+        ber_lo = ch.transmit(pseudoRandomBits(60)).ber;
+    }
+    {
+        ChannelConfig cfg = baseConfig();
+        cfg.app.phiRatePerSec = 10000.0;
+        IccThreadCovert ch(cfg);
+        ber_hi = ch.transmit(pseudoRandomBits(60)).ber;
+    }
+    EXPECT_LE(ber_lo, ber_hi);
+}
+
+TEST(ChannelNoise, RepetitionCodingRecoversPayload)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.noise.interruptRatePerSec = 4000.0;
+    cfg.noise.contextSwitchRatePerSec = 500.0;
+    IccThreadCovert ch(cfg);
+
+    BitVec payload = pseudoRandomBits(24, 3);
+    BitVec coded = repetitionEncode(payload, 5);
+    TransmitResult res = ch.transmit(coded);
+    BitVec decoded = repetitionDecode(res.receivedBits, 5);
+    // §6.3: repetition/averaging recovers the secret under noise.
+    EXPECT_EQ(decoded, payload);
+}
+
+// Fig. 14b property: a colliding app PHI causes decode errors exactly
+// when its power level exceeds the channel's symbol level.
+TEST(ChannelNoise, CollidingBurstErrorMatrix)
+{
+    SymbolMap map = symbolMapFor(presets::cannonLake());
+    for (int app_s : {0, 3}) {
+        for (int ich_s : {0, 3}) {
+            ChannelConfig cfg = baseConfig();
+            cfg.burst.enabled = true;
+            cfg.burst.cls = map.symbolClasses[app_s];
+            IccThreadCovert ch(cfg);
+            std::vector<int> symbols(8, ich_s);
+            std::vector<double> tp = ch.runSymbols(symbols, true);
+            std::size_t errors = 0;
+            for (double v : tp)
+                if (ch.calibration().decode(v) != ich_s)
+                    ++errors;
+            if (app_s > ich_s)
+                EXPECT_GT(errors, 4u)
+                    << "app " << app_s << " ich " << ich_s;
+            else
+                EXPECT_EQ(errors, 0u)
+                    << "app " << app_s << " ich " << ich_s;
+        }
+    }
+}
+
+TEST(ChannelNoise, CrcDetectsResidualErrors)
+{
+    ChannelConfig cfg = baseConfig();
+    cfg.noise.interruptRatePerSec = 20000.0;
+    cfg.noise.contextSwitchRatePerSec = 2000.0;
+    IccThreadCovert ch(cfg);
+    BitVec payload = pseudoRandomBits(64, 9);
+    TransmitResult res = ch.transmit(payload);
+    if (res.bitErrors > 0)
+        EXPECT_NE(crc16(res.receivedBits), crc16(payload));
+    else
+        EXPECT_EQ(crc16(res.receivedBits), crc16(payload));
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Chip-level tests: TSC invariance, activity reporting, measurement
+ * points, power-gate integration (Fig. 8b/c first-iteration delta).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+using test::quietChip;
+
+TEST(Chip, TscCountsAtBaseClockRegardlessOfCoreFreq)
+{
+    for (double f : {1.0, 2.2}) {
+        Simulation sim(quietChip(f));
+        Chip &chip = sim.chip();
+        sim.eq().runUntil(fromMicroseconds(100));
+        // 100 us at tscGhz=2.2 => 220000 cycles, independent of f.
+        EXPECT_NEAR(static_cast<double>(chip.tscNow()), 220000.0, 2.0);
+    }
+}
+
+TEST(Chip, TscRoundTrips)
+{
+    Simulation sim(quietChip());
+    Chip &chip = sim.chip();
+    Cycles c = 123456;
+    Time t = chip.tscToTime(c);
+    sim.eq().runUntil(t);
+    EXPECT_NEAR(static_cast<double>(chip.tscNow()),
+                static_cast<double>(c), 2.0);
+}
+
+TEST(Chip, CoreActivityReportsRunningClass)
+{
+    Simulation sim(quietChip(1.0));
+    Chip &chip = sim.chip();
+    Program p;
+    p.loop(InstClass::k256Heavy, 1000, 100);
+    chip.core(1).thread(0).setProgram(std::move(p));
+    chip.core(1).thread(0).start();
+    sim.eq().runUntil(fromMicroseconds(10));
+    auto act = chip.coreActivity();
+    EXPECT_FALSE(act[0].active);
+    EXPECT_TRUE(act[1].active);
+    EXPECT_DOUBLE_EQ(act[1].cdynNf,
+                     chip.config().core.cdynBaseNf +
+                         traits(InstClass::k256Heavy).deltaCdynNf);
+    EXPECT_EQ(act[1].activeGbLevel, 3);
+}
+
+TEST(Chip, IccGrowsWithActivity)
+{
+    Simulation sim(quietChip(1.0));
+    Chip &chip = sim.chip();
+    double icc_idle = chip.iccAmps();
+    Program p;
+    p.loop(InstClass::k512Heavy, 2000, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.eq().runUntil(fromMicroseconds(20));
+    EXPECT_GT(chip.iccAmps(), icc_idle);
+    EXPECT_GT(chip.powerWatts(), 0.0);
+}
+
+TEST(Chip, TjCelsiusAdvancesThermalState)
+{
+    Simulation sim(quietChip(1.0));
+    Chip &chip = sim.chip();
+    Program p;
+    p.loop(InstClass::k512Heavy, 2000000, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.eq().runUntil(fromMilliseconds(50));
+    double t = chip.tjCelsius();
+    EXPECT_GT(t, chip.thermal().config().ambientCelsius);
+    EXPECT_LT(t, chip.thermal().config().tjMaxCelsius);
+}
+
+// Fig. 8b: on parts with an AVX power gate, the first iteration of an
+// AVX2 loop is ~8-15 ns longer than subsequent iterations.
+TEST(Chip, FirstAvxIterationPaysGateWakeup)
+{
+    ChipConfig cfg = quietChip(3.0); // secure mode: isolate the PG cost
+    Simulation sim(cfg);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loopChunked(InstClass::k256Heavy, 3, 1, /*tag=*/0, 300);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    const auto &recs = thr.records();
+    ASSERT_EQ(recs.size(), 3u);
+    // records are per-iteration completion times; start was at ~0.
+    Time it1 = recs[0].time;
+    Time it2 = recs[1].time - recs[0].time;
+    Time it3 = recs[2].time - recs[1].time;
+    double d1 = toNanoseconds(it1) - toNanoseconds(it2);
+    EXPECT_GE(d1, 7.0);  // wake-up cost visible on iteration 1
+    EXPECT_LE(d1, 16.0);
+    EXPECT_NEAR(toNanoseconds(it2), toNanoseconds(it3), 0.5);
+}
+
+// Fig. 8c: Haswell has no AVX power gate — all iterations equal.
+TEST(Chip, HaswellHasNoFirstIterationDelta)
+{
+    ChipConfig cfg = presets::haswell();
+    cfg.pmu.secureMode = true;
+    cfg.pmu.vr.commandJitter = 0;
+    cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+    cfg.pmu.governor.userspaceGhz = 3.0;
+    Simulation sim(cfg);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loopChunked(InstClass::k256Heavy, 3, 1, 0, 300);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    const auto &recs = thr.records();
+    Time it1 = recs[0].time;
+    Time it2 = recs[1].time - recs[0].time;
+    EXPECT_NEAR(toNanoseconds(it1), toNanoseconds(it2), 1.0);
+}
+
+TEST(Chip, ThrottleAssertReleaseBalance)
+{
+    Simulation sim(pinnedCannonLake(1.4));
+    Chip &chip = sim.chip();
+    Program p;
+    for (int i = 0; i < 3; ++i) {
+        p.loop(InstClass::k512Heavy, 400, 100);
+        p.idle(fromMicroseconds(800)); // past reset-time each round
+    }
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.run(fromMilliseconds(10));
+    EXPECT_FALSE(chip.core(0).throttle().throttled());
+    EXPECT_EQ(chip.core(0).throttle().assertCount(), 3u);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Multi-Throttling-Cores tests (paper §4.3/§5.5): PHIs on two cores
+ * within a few hundred cycles exacerbate each other's throttling
+ * periods because the central PMU serializes voltage transitions; the
+ * receiver's TP depends on the *sender's* class; per-core VRs remove
+ * the effect.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mitigations/mitigations.hh"
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+
+ChipConfig
+cfg14()
+{
+    ChipConfig cfg = pinnedCannonLake(1.4);
+    cfg.pmu.vr.commandJitter = 0;
+    return cfg;
+}
+
+/**
+ * Core 0 runs @p sender_cls at t=epoch; core 1 starts @p probe_cls
+ * @p skew_ns later and times it. Returns the probe duration (µs).
+ */
+double
+probeUs(const ChipConfig &cfg, InstClass sender_cls, InstClass probe_cls,
+        double skew_ns)
+{
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    double tsc_per_ns = cfg.tscGhz;
+    Cycles epoch = static_cast<Cycles>(50000.0 * tsc_per_ns); // 50 us
+
+    Program tx;
+    tx.waitUntilTsc(epoch);
+    tx.loop(sender_cls, 400, 100);
+
+    Program rx;
+    rx.waitUntilTsc(epoch + static_cast<Cycles>(skew_ns * tsc_per_ns));
+    rx.mark(0);
+    rx.loop(probe_cls, 100, 100);
+    rx.mark(1);
+
+    chip.core(0).thread(0).setProgram(std::move(tx));
+    chip.core(1).thread(0).setProgram(std::move(rx));
+    chip.core(0).thread(0).start();
+    chip.core(1).thread(0).start();
+    sim.run(fromMilliseconds(3));
+    const auto &recs = chip.core(1).thread(0).records();
+    return toMicroseconds(recs.at(1).time - recs.at(0).time);
+}
+
+TEST(CrossCore, ConcurrentPhiExtendsProbe)
+{
+    // Probe alone (sender runs scalar => no transition).
+    double alone =
+        probeUs(cfg14(), InstClass::kScalar64, InstClass::k128Heavy, 150);
+    double with_sender =
+        probeUs(cfg14(), InstClass::k512Heavy, InstClass::k128Heavy, 150);
+    EXPECT_GT(with_sender, alone + 3.0);
+}
+
+TEST(CrossCore, ProbeTpReflectsSenderIntensity)
+{
+    double p128 =
+        probeUs(cfg14(), InstClass::k128Heavy, InstClass::k128Heavy, 150);
+    double p256l =
+        probeUs(cfg14(), InstClass::k256Light, InstClass::k128Heavy, 150);
+    double p256 =
+        probeUs(cfg14(), InstClass::k256Heavy, InstClass::k128Heavy, 150);
+    double p512 =
+        probeUs(cfg14(), InstClass::k512Heavy, InstClass::k128Heavy, 150);
+    EXPECT_LT(p128, p256l);
+    EXPECT_LT(p256l, p256);
+    EXPECT_LT(p256, p512);
+    // Separation must exceed the paper's 2K-TSC-cycle decodability bar.
+    EXPECT_GT(p256l - p128, 0.5);
+}
+
+TEST(CrossCore, EffectRequiresTemporalOverlap)
+{
+    // §4.3.1: the exacerbation happens when the PHIs land within a few
+    // hundred cycles. If the receiver starts long after the sender's
+    // transition settled, its TP no longer depends on the sender class.
+    double near_512 =
+        probeUs(cfg14(), InstClass::k512Heavy, InstClass::k128Heavy, 150);
+    double far_512 = probeUs(cfg14(), InstClass::k512Heavy,
+                             InstClass::k128Heavy, 100000); // 100 us
+    double far_128 = probeUs(cfg14(), InstClass::k128Heavy,
+                             InstClass::k128Heavy, 100000);
+    EXPECT_GT(near_512, far_512 + 2.0);
+    // Far probes: the sender's level is already granted (hysteresis),
+    // so only the probe's own (constant) ramp shows.
+    EXPECT_NEAR(far_512, far_128, 0.4);
+}
+
+TEST(CrossCore, SenderTpAlsoExacerbated)
+{
+    ChipConfig cfg = cfg14();
+    // Sender alone.
+    double solo = test::loopFromBaselineUs(cfg, InstClass::k256Heavy);
+    // Sender with a concurrent receiver PHI on the other core.
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    Cycles epoch = static_cast<Cycles>(50000.0 * cfg.tscGhz);
+    Program tx;
+    tx.waitUntilTsc(epoch);
+    tx.mark(0);
+    tx.loop(InstClass::k256Heavy, 400, 100);
+    tx.mark(1);
+    Program rx;
+    rx.waitUntilTsc(epoch + static_cast<Cycles>(150 * cfg.tscGhz));
+    rx.loop(InstClass::k256Heavy, 400, 100);
+    chip.core(0).thread(0).setProgram(std::move(tx));
+    chip.core(1).thread(0).setProgram(std::move(rx));
+    chip.core(0).thread(0).start();
+    chip.core(1).thread(0).start();
+    sim.run(fromMilliseconds(3));
+    const auto &recs = chip.core(0).thread(0).records();
+    double with_rx =
+        toMicroseconds(recs.at(1).time - recs.at(0).time);
+    EXPECT_GT(with_rx, solo + 2.0);
+}
+
+TEST(CrossCore, PerCoreVrEliminatesCrossCoreEffect)
+{
+    ChipConfig cfg = mitigations::withPerCoreVr(cfg14());
+    cfg.pmu.vr.commandJitter = 0;
+    double p128 =
+        probeUs(cfg, InstClass::k128Heavy, InstClass::k128Heavy, 150);
+    double p512 =
+        probeUs(cfg, InstClass::k512Heavy, InstClass::k128Heavy, 150);
+    // Independent rails: the probe's timing no longer depends on the
+    // sender's class (§7, Table 1: full mitigation of IccCoresCovert).
+    EXPECT_NEAR(p128, p512, 0.15);
+}
+
+TEST(CrossCore, VoltageIncludesBothCoresGuardbands)
+{
+    ChipConfig cfg = cfg14();
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+    for (int c = 0; c < 2; ++c) {
+        Program p;
+        p.loop(InstClass::k256Heavy, 2000, 100);
+        chip.core(c).thread(0).setProgram(std::move(p));
+        chip.core(c).thread(0).start();
+    }
+    sim.eq().runUntil(fromMicroseconds(60));
+    double gb1 = chip.pmu().guardbandModel().gbVolts(3, 1.4);
+    // Fig. 6: per-core guardbands add on the shared rail.
+    EXPECT_NEAR(chip.vccVolts() - v0, 2.0 * gb1, 1e-4);
+}
+
+} // namespace
+} // namespace ich

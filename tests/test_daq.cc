@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the DAQ sampler (the NI-DAQ stand-in, Fig. 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "measure/daq.hh"
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::quietChip;
+
+TEST(Daq, RejectsZeroInterval)
+{
+    EventQueue eq;
+    EXPECT_THROW(Daq(eq, 0), std::invalid_argument);
+}
+
+TEST(Daq, SamplesAtRequestedRate)
+{
+    EventQueue eq;
+    Daq daq(eq, fromMicroseconds(10));
+    int ch = daq.addChannel("const", [] { return 1.5; });
+    daq.start(fromMicroseconds(100));
+    eq.runUntil(fromMicroseconds(200));
+    // Samples at t = 0,10,...,100 => 11 points.
+    EXPECT_EQ(daq.trace(ch).size(), 11u);
+    EXPECT_DOUBLE_EQ(daq.trace(ch).meanValue(), 1.5);
+    EXPECT_FALSE(daq.running());
+}
+
+TEST(Daq, MultiChannelSampling)
+{
+    EventQueue eq;
+    Daq daq(eq, fromMicroseconds(5));
+    daq.addChannel("a", [] { return 1.0; });
+    daq.addChannel("b", [&eq] { return toMicroseconds(eq.now()); });
+    daq.start(fromMicroseconds(50));
+    eq.runUntil(fromMicroseconds(60));
+    EXPECT_EQ(daq.channels(), 2);
+    EXPECT_DOUBLE_EQ(daq.trace("a").meanValue(), 1.0);
+    EXPECT_DOUBLE_EQ(daq.trace("b").maxValue(), 50.0);
+    EXPECT_THROW(daq.trace("missing"), std::out_of_range);
+}
+
+TEST(Daq, StopHaltsSampling)
+{
+    EventQueue eq;
+    Daq daq(eq, fromMicroseconds(10));
+    int ch = daq.addChannel("x", [] { return 0.0; });
+    daq.start(fromSeconds(1));
+    eq.runUntil(fromMicroseconds(35));
+    daq.stop();
+    auto n = daq.trace(ch).size();
+    eq.runUntil(fromMicroseconds(500));
+    EXPECT_EQ(daq.trace(ch).size(), n);
+}
+
+TEST(Daq, CapturesChipVoltageTransient)
+{
+    ChipConfig cfg = test::pinnedCannonLake(1.4);
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg);
+    Chip &chip = sim.chip();
+    Daq daq(sim.eq(), fromNanoseconds(286)); // ~3.5 MS/s (NI-PCIe-6376)
+    int ch = daq.addChannel("vcc", [&] { return chip.vccVolts(); });
+    daq.start(fromMicroseconds(40));
+    Program p;
+    p.loop(InstClass::k512Heavy, 400, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.run(fromMicroseconds(45));
+    const Trace &t = daq.trace(ch);
+    EXPECT_GT(t.maxValue(), t.minValue()); // ramp captured
+    EXPECT_GT(t.size(), 100u);
+}
+
+} // namespace
+} // namespace ich

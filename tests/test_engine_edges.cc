@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Execution-engine edge cases: degenerate programs, boundary kernel
+ * sizes, restarts, stalls on inactive threads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::quietChip;
+
+TEST(EngineEdges, EmptyProgramCompletesImmediately)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    thr.setProgram(Program{});
+    thr.start();
+    EXPECT_TRUE(thr.done());
+    sim.run();
+    EXPECT_EQ(thr.records().size(), 0u);
+}
+
+TEST(EngineEdges, ZeroIterationLoopIsInstant)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.mark(0);
+    p.loop(InstClass::k256Heavy, 0, 100);
+    p.mark(1);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    ASSERT_EQ(thr.records().size(), 2u);
+    EXPECT_LE(thr.records()[1].time - thr.records()[0].time,
+              fromNanoseconds(20)); // at most a PG wake-up
+}
+
+TEST(EngineEdges, SingleIterationLoop)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.mark(0);
+    p.loop(InstClass::k128Heavy, 1, 100); // 101 cycles @1 GHz
+    p.mark(1);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    Time dur = thr.records()[1].time - thr.records()[0].time;
+    EXPECT_NEAR(toNanoseconds(dur), 101.0, 1.5);
+}
+
+TEST(EngineEdges, MarksOnlyProgram)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    for (int i = 0; i < 5; ++i)
+        p.mark(i);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    ASSERT_EQ(thr.records().size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(thr.records()[i].tag, i);
+}
+
+TEST(EngineEdges, WaitUntilPastTscCompletesImmediately)
+{
+    Simulation sim(quietChip(1.0));
+    sim.eq().runUntil(fromMicroseconds(100));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.waitUntilTsc(1); // long in the past
+    p.mark(0);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run(fromMicroseconds(200));
+    ASSERT_EQ(thr.records().size(), 1u);
+    EXPECT_NEAR(toMicroseconds(thr.records()[0].time), 100.0, 0.1);
+}
+
+TEST(EngineEdges, StallOnIdleThreadHarmless)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.idle(fromMicroseconds(50));
+    p.mark(0);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.eq().schedule(fromMicroseconds(10), [&] {
+        thr.stallFor(fromMicroseconds(5)); // during the idle step
+    });
+    sim.run();
+    // Idle duration unaffected (no instructions to stall).
+    EXPECT_NEAR(toMicroseconds(thr.records()[0].time), 50.0, 0.2);
+}
+
+TEST(EngineEdges, ChunkLargerThanLoopYieldsNoRecords)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loopChunked(InstClass::kScalar64, 100, 500, 0, 20);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_TRUE(thr.done());
+    EXPECT_EQ(thr.records().size(), 0u);
+}
+
+TEST(EngineEdges, SequentialProgramsOnSameThread)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p1;
+    p1.mark(1);
+    thr.setProgram(std::move(p1));
+    thr.start();
+    sim.run();
+    ASSERT_TRUE(thr.done());
+
+    Program p2;
+    p2.loop(InstClass::k128Heavy, 10, 10);
+    p2.mark(2);
+    thr.setProgram(std::move(p2));
+    thr.start();
+    sim.run();
+    ASSERT_EQ(thr.records().size(), 1u); // setProgram cleared records
+    EXPECT_EQ(thr.records()[0].tag, 2);
+}
+
+TEST(EngineEdges, CallStepCanInstallWorkElsewhere)
+{
+    Simulation sim(quietChip(1.0));
+    Chip &chip = sim.chip();
+    HwThread &t0 = chip.core(0).thread(0);
+    HwThread &t1 = chip.core(1).thread(0);
+    Program p;
+    p.idle(fromMicroseconds(10));
+    p.call([&] {
+        Program q;
+        q.mark(9);
+        t1.setProgram(std::move(q));
+        t1.start();
+    });
+    t0.setProgram(std::move(p));
+    t0.start();
+    sim.run();
+    ASSERT_EQ(t1.records().size(), 1u);
+    EXPECT_NEAR(toMicroseconds(t1.records()[0].time), 10.0, 0.1);
+}
+
+TEST(EngineEdges, HugeLoopCompletesWithFewEvents)
+{
+    // 10^8 cycles of simulated work must not cost per-cycle events.
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::kScalar64, 2000000, 100); // ~102 ms @1 GHz
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run(fromSeconds(1));
+    EXPECT_TRUE(thr.done());
+    EXPECT_LT(sim.eq().executedEvents(), 1000u);
+}
+
+} // namespace
+} // namespace ich

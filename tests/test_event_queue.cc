@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel: ordering, tie-breaking,
+ * cancellation, horizon semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(EventQueue, StartsAtTimeZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(300, [&] { order.push_back(3); });
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 300u);
+}
+
+TEST(EventQueue, SameTimestampOrderedByPriorityThenInsertion)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); }, /*priority=*/5);
+    eq.schedule(100, [&] { order.push_back(2); }, /*priority=*/0);
+    eq.schedule(100, [&] { order.push_back(3); }, /*priority=*/5);
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+TEST(EventQueue, SchedulingIntoThePastThrows)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.runToCompletion();
+    EXPECT_THROW(eq.schedule(50, [] {}), std::logic_error);
+}
+
+TEST(EventQueue, DescheduleCancelsEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(100, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.runToCompletion();
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleIsIdempotent)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(100, [] {});
+    eq.deschedule(id);
+    eq.deschedule(id); // no-op
+    eq.deschedule(9999); // unknown id: no-op
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(5000);
+    EXPECT_EQ(eq.now(), 5000u);
+}
+
+TEST(EventQueue, RunUntilExecutesOnlyDueEvents)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(100, [&] { order.push_back(1); });
+    eq.schedule(200, [&] { order.push_back(2); });
+    eq.runUntil(150);
+    EXPECT_EQ(order, (std::vector<int>{1}));
+    EXPECT_EQ(eq.now(), 150u);
+    eq.runToCompletion();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int count = 0;
+    std::function<void()> reschedule = [&] {
+        if (++count < 5)
+            eq.scheduleIn(10, reschedule);
+    };
+    eq.scheduleIn(10, reschedule);
+    eq.runToCompletion();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(eq.now(), 50u);
+}
+
+TEST(EventQueue, RunToCompletionStopsAtHorizon)
+{
+    EventQueue eq;
+    bool late = false;
+    eq.schedule(100, [] {});
+    eq.schedule(2000, [&] { late = true; });
+    eq.runToCompletion(1000);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    eq.schedule(10, [] {});
+    EXPECT_TRUE(eq.runOne());
+    EXPECT_FALSE(eq.runOne());
+}
+
+TEST(EventQueue, ExecutedEventsCounterCountsOnlyFired)
+{
+    EventQueue eq;
+    EventId id = eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.deschedule(id);
+    eq.runToCompletion();
+    EXPECT_EQ(eq.executedEvents(), 1u);
+}
+
+TEST(EventQueue, CancelledHeadDoesNotBlockRunUntil)
+{
+    EventQueue eq;
+    bool fired = false;
+    EventId id = eq.schedule(100, [] {});
+    eq.schedule(200, [&] { fired = true; });
+    eq.deschedule(id);
+    eq.runUntil(250);
+    EXPECT_TRUE(fired);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the framed reliable-transfer layer (§6.3 strategies).
+ */
+
+#include <gtest/gtest.h>
+
+#include "channels/framing.hh"
+#include "channels/thread_channel.hh"
+#include "chip/presets.hh"
+
+namespace ich
+{
+namespace
+{
+
+BitVec
+pseudoRandomBits(std::size_t n, unsigned seed)
+{
+    BitVec bits;
+    unsigned x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    return bits;
+}
+
+ChannelConfig
+channelConfig(double irq_rate = 0.0)
+{
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = 71;
+    cfg.noise.interruptRatePerSec = irq_rate;
+    return cfg;
+}
+
+TEST(Framing, CodeRates)
+{
+    IccThreadCovert ch(channelConfig());
+    FramingConfig cfg;
+    cfg.fec = FecScheme::kNone;
+    EXPECT_DOUBLE_EQ(FramedLink(ch, cfg).codeRate(), 1.0);
+    cfg.fec = FecScheme::kRepetition3;
+    EXPECT_DOUBLE_EQ(FramedLink(ch, cfg).codeRate(), 3.0);
+    cfg.fec = FecScheme::kHamming74;
+    EXPECT_DOUBLE_EQ(FramedLink(ch, cfg).codeRate(), 1.75);
+}
+
+TEST(Framing, NoiselessTransferExact)
+{
+    IccThreadCovert ch(channelConfig());
+    FramingConfig cfg;
+    cfg.fec = FecScheme::kNone;
+    cfg.frameBits = 32;
+    FramedLink link(ch, cfg);
+    BitVec payload = pseudoRandomBits(100, 5); // 4 frames, last partial
+    FramedResult res = link.transfer(payload);
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.payload, payload);
+    EXPECT_EQ(res.framesDelivered, 4);
+    EXPECT_EQ(res.framesSent, 4); // no retries needed
+    EXPECT_GT(res.goodputBps, 1000.0);
+}
+
+TEST(Framing, RetriesRecoverUnderNoise)
+{
+    IccThreadCovert ch(channelConfig(6000.0));
+    FramingConfig cfg;
+    cfg.fec = FecScheme::kRepetition3;
+    cfg.frameBits = 32;
+    cfg.maxAttempts = 6;
+    FramedLink link(ch, cfg);
+    BitVec payload = pseudoRandomBits(96, 9);
+    FramedResult res = link.transfer(payload);
+    EXPECT_TRUE(res.success);
+    EXPECT_EQ(res.payload, payload);
+    EXPECT_GE(res.framesSent, res.framesDelivered);
+}
+
+TEST(Framing, GoodputBelowRawThroughput)
+{
+    IccThreadCovert ch(channelConfig());
+    FramingConfig cfg;
+    cfg.fec = FecScheme::kHamming74;
+    FramedLink link(ch, cfg);
+    FramedResult res = link.transfer(pseudoRandomBits(64, 3));
+    EXPECT_TRUE(res.success);
+    // Header + CRC + 7/4 code: goodput must be below the raw channel
+    // rate but in the same order of magnitude.
+    EXPECT_LT(res.goodputBps, ch.ratedThroughputBps());
+    EXPECT_GT(res.goodputBps, ch.ratedThroughputBps() / 4.0);
+}
+
+TEST(Framing, FailureReportedWhenRetriesExhausted)
+{
+    // An absurdly hostile system: decode windows almost always hit.
+    ChannelConfig ccfg = channelConfig(50000.0);
+    ccfg.noise.contextSwitchRatePerSec = 20000.0;
+    IccThreadCovert ch(ccfg);
+    FramingConfig cfg;
+    cfg.fec = FecScheme::kNone;
+    cfg.maxAttempts = 1;
+    FramedLink link(ch, cfg);
+    FramedResult res = link.transfer(pseudoRandomBits(128, 7));
+    EXPECT_FALSE(res.success);
+    EXPECT_TRUE(res.payload.empty());
+    EXPECT_GT(res.rawBerObserved, 0.0);
+}
+
+TEST(Framing, SchemeNames)
+{
+    EXPECT_STREQ(toString(FecScheme::kNone), "none");
+    EXPECT_STREQ(toString(FecScheme::kHamming74), "hamming(7,4)");
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Tests for the software governor model (paper §5.7).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/governor.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Governor, PerformanceRequestsMaxTurbo)
+{
+    GovernorConfig cfg;
+    cfg.policy = GovernorPolicy::kPerformance;
+    Governor gov(cfg);
+    EXPECT_DOUBLE_EQ(gov.requestGhz(0.8, 3.2), 3.2);
+}
+
+TEST(Governor, PowersaveRequestsMin)
+{
+    GovernorConfig cfg;
+    cfg.policy = GovernorPolicy::kPowersave;
+    Governor gov(cfg);
+    EXPECT_DOUBLE_EQ(gov.requestGhz(0.8, 3.2), 0.8);
+}
+
+TEST(Governor, UserspacePinsFrequency)
+{
+    GovernorConfig cfg;
+    cfg.policy = GovernorPolicy::kUserspace;
+    cfg.userspaceGhz = 1.4;
+    Governor gov(cfg);
+    EXPECT_DOUBLE_EQ(gov.requestGhz(0.8, 3.2), 1.4);
+}
+
+TEST(Governor, SettersUpdateState)
+{
+    Governor gov(GovernorConfig{});
+    gov.setPolicy(GovernorPolicy::kPowersave);
+    EXPECT_EQ(gov.policy(), GovernorPolicy::kPowersave);
+    gov.setPolicy(GovernorPolicy::kUserspace);
+    gov.setUserspaceGhz(2.0);
+    EXPECT_DOUBLE_EQ(gov.requestGhz(0.8, 3.2), 2.0);
+}
+
+} // namespace
+} // namespace ich

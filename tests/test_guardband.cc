@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the guardband model (Equation 1 over the level table).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/guardband.hh"
+
+namespace ich
+{
+namespace
+{
+
+GuardbandModel
+model()
+{
+    return GuardbandModel(LoadLine(1.9e-3), VfCurve{0.55, 0.10});
+}
+
+TEST(GuardbandModel, FiveLevels)
+{
+    EXPECT_EQ(model().numLevels(), 5);
+}
+
+TEST(GuardbandModel, LevelZeroIsFree)
+{
+    GuardbandModel gb = model();
+    EXPECT_DOUBLE_EQ(gb.levelCdynNf(0), 0.0);
+    EXPECT_DOUBLE_EQ(gb.gbVolts(0, 2.0), 0.0);
+}
+
+TEST(GuardbandModel, LevelsStrictlyIncreasing)
+{
+    GuardbandModel gb = model();
+    for (int l = 1; l < gb.numLevels(); ++l) {
+        EXPECT_GT(gb.levelCdynNf(l), gb.levelCdynNf(l - 1));
+        EXPECT_GT(gb.gbVolts(l, 1.4), gb.gbVolts(l - 1, 1.4));
+    }
+}
+
+TEST(GuardbandModel, LevelCdynMatchesClassTable)
+{
+    GuardbandModel gb = model();
+    for (auto cls : kAllInstClasses) {
+        const InstTraits &tr = traits(cls);
+        EXPECT_GE(gb.levelCdynNf(tr.guardbandLevel), tr.deltaCdynNf);
+    }
+    EXPECT_DOUBLE_EQ(gb.levelCdynNf(4),
+                     traits(InstClass::k512Heavy).deltaCdynNf);
+}
+
+TEST(GuardbandModel, GuardbandGrowsWithFrequency)
+{
+    GuardbandModel gb = model();
+    // Equation 1: ΔV ∝ Vcc(f)·f, so strictly increasing in f.
+    EXPECT_LT(gb.gbVolts(3, 1.0), gb.gbVolts(3, 1.2));
+    EXPECT_LT(gb.gbVolts(3, 1.2), gb.gbVolts(3, 1.4));
+}
+
+TEST(GuardbandModel, BaseVoltsFollowsVfCurve)
+{
+    GuardbandModel gb = model();
+    EXPECT_DOUBLE_EQ(gb.baseVolts(1.0), 0.65);
+    EXPECT_DOUBLE_EQ(gb.baseVolts(2.2), 0.77);
+}
+
+TEST(GuardbandModel, OutOfRangeLevelThrows)
+{
+    GuardbandModel gb = model();
+    EXPECT_THROW(gb.levelCdynNf(-1), std::out_of_range);
+    EXPECT_THROW(gb.levelCdynNf(5), std::out_of_range);
+}
+
+TEST(GuardbandModel, MagnitudesInPaperRange)
+{
+    GuardbandModel gb = model();
+    // Per-core guardbands at client frequencies are single-digit to
+    // low-tens of mV (Fig. 6: ~8 mV/core for AVX2 at 2 GHz).
+    double avx2 = gb.gbVolts(3, 2.0) * 1000.0;
+    EXPECT_GT(avx2, 4.0);
+    EXPECT_LT(avx2, 12.0);
+    double avx512 = gb.gbVolts(4, 2.0) * 1000.0;
+    EXPECT_GT(avx512, avx2);
+    EXPECT_LT(avx512, 25.0);
+}
+
+} // namespace
+} // namespace ich

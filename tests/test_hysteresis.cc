@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Reset-time / hysteresis tests (paper §4.1.2): the guardband stays for
+ * 650 µs after the last PHI, then decays to baseline; PHIs within the
+ * window are not throttled again.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+
+ChipConfig
+cfg14()
+{
+    ChipConfig cfg = pinnedCannonLake(1.4);
+    cfg.pmu.vr.commandJitter = 0;
+    return cfg;
+}
+
+TEST(Hysteresis, GuardbandHeldWithinResetTime)
+{
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    Program p;
+    p.loop(InstClass::k512Heavy, 400, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.run(fromMilliseconds(5));
+    // Kernel ends well before 650 us; level held at +600 us...
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 4);
+}
+
+TEST(Hysteresis, GuardbandDecaysAfterResetTime)
+{
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+    Program p;
+    p.loop(InstClass::k512Heavy, 400, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    // Past kernel end (~40 us) + 650 us + down-ramp (~12 us).
+    sim.eq().runUntil(fromMicroseconds(740));
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 0);
+    EXPECT_NEAR(chip.vccVolts(), v0, 1e-4);
+}
+
+TEST(Hysteresis, RepeatedPhiWithinWindowKeepsLevel)
+{
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    Program p;
+    for (int i = 0; i < 4; ++i) {
+        p.loop(InstClass::k512Heavy, 200, 100);
+        p.idle(fromMicroseconds(400)); // < 650 us gaps
+    }
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.run(fromMilliseconds(10));
+    // Only the first loop should have requested a transition.
+    EXPECT_EQ(chip.pmu().voltageRequests(), 1u);
+}
+
+TEST(Hysteresis, PhiAfterWindowThrottlesAgain)
+{
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    Program p;
+    p.loop(InstClass::k512Heavy, 200, 100);
+    p.idle(fromMicroseconds(800)); // > reset-time
+    p.loop(InstClass::k512Heavy, 200, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.run(fromMilliseconds(10));
+    EXPECT_EQ(chip.pmu().voltageRequests(), 2u);
+}
+
+TEST(Hysteresis, LongKernelKeepsGuardbandAlive)
+{
+    // A PHI loop running longer than the reset-time must not decay
+    // mid-execution (its activity keeps the level alive).
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    Program p;
+    // ~2.9 ms at 1.4 GHz: 40000 iterations * 101 cycles.
+    p.loop(InstClass::k512Heavy, 40000, 100);
+    chip.core(0).thread(0).setProgram(std::move(p));
+    chip.core(0).thread(0).start();
+    sim.eq().runUntil(fromMilliseconds(2));
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 4);
+}
+
+TEST(Hysteresis, PerCoreDecayIndependent)
+{
+    Simulation sim(cfg14());
+    Chip &chip = sim.chip();
+    // Core 0 runs a PHI once; core 1 keeps running PHIs.
+    Program p0;
+    p0.loop(InstClass::k256Heavy, 200, 100);
+    Program p1;
+    for (int i = 0; i < 8; ++i) {
+        p1.loop(InstClass::k256Heavy, 200, 100);
+        p1.idle(fromMicroseconds(300));
+    }
+    chip.core(0).thread(0).setProgram(std::move(p0));
+    chip.core(1).thread(0).setProgram(std::move(p1));
+    chip.core(0).thread(0).start();
+    chip.core(1).thread(0).start();
+    sim.eq().runUntil(fromMilliseconds(1.5));
+    EXPECT_EQ(chip.pmu().grantedLevel(0), 0); // decayed
+    EXPECT_EQ(chip.pmu().grantedLevel(1), 3); // still held
+}
+
+} // namespace
+} // namespace ich

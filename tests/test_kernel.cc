@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests for loop-kernel cycle arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/kernel.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Kernel, CyclesPerIterationVector)
+{
+    Kernel k = makeKernel(InstClass::k256Heavy, 10, 100);
+    // 100 instructions at IPC 1 + 1 loop-overhead cycle.
+    EXPECT_DOUBLE_EQ(k.cyclesPerIteration(), 101.0);
+}
+
+TEST(Kernel, CyclesPerIterationScalarIpc2)
+{
+    Kernel k = makeKernel(InstClass::kScalar64, 10, 100);
+    EXPECT_DOUBLE_EQ(k.cyclesPerIteration(), 51.0);
+}
+
+TEST(Kernel, TotalCyclesScalesWithIterations)
+{
+    Kernel k = makeKernel(InstClass::k256Heavy, 1000, 100);
+    EXPECT_DOUBLE_EQ(k.totalCycles(), 101000.0);
+}
+
+TEST(Kernel, TotalInstructionsIncludesBranch)
+{
+    Kernel k = makeKernel(InstClass::k128Heavy, 5, 10);
+    EXPECT_EQ(k.totalInstructions(), 55u);
+}
+
+TEST(Kernel, UnrollChangesIterationCost)
+{
+    Kernel a = makeKernel(InstClass::k256Heavy, 1, 50);
+    Kernel b = makeKernel(InstClass::k256Heavy, 1, 300);
+    EXPECT_LT(a.cyclesPerIteration(), b.cyclesPerIteration());
+    EXPECT_DOUBLE_EQ(b.cyclesPerIteration(), 301.0);
+}
+
+} // namespace
+} // namespace ich

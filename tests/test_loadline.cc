@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the load-line model and Equation 1 (paper §2, Fig. 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pdn/loadline.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(LoadLine, VccLoadDropsWithCurrent)
+{
+    LoadLine ll(1.9e-3);
+    EXPECT_DOUBLE_EQ(ll.vccLoad(1.0, 0.0), 1.0);
+    EXPECT_NEAR(ll.vccLoad(1.0, 10.0), 1.0 - 0.019, 1e-12);
+    EXPECT_GT(ll.vccLoad(1.0, 10.0), ll.vccLoad(1.0, 50.0));
+}
+
+TEST(LoadLine, DroopIsLinear)
+{
+    LoadLine ll(2.0e-3);
+    EXPECT_DOUBLE_EQ(ll.droop(20.0), 0.04);
+    EXPECT_DOUBLE_EQ(ll.droop(40.0), 2.0 * ll.droop(20.0));
+}
+
+TEST(LoadLine, RequiredVccKeepsLoadAboveVccmin)
+{
+    LoadLine ll(1.9e-3);
+    double vccmin = 0.65;
+    double icc_virus = 30.0;
+    double vcc = ll.requiredVcc(vccmin, icc_virus);
+    EXPECT_GE(ll.vccLoad(vcc, icc_virus), vccmin - 1e-12);
+    EXPECT_NEAR(ll.vccLoad(vcc, icc_virus), vccmin, 1e-12);
+}
+
+// Equation 1 property: ΔV proportional to each factor.
+TEST(LoadLine, GuardbandProportionalToCdyn)
+{
+    LoadLine ll(1.9e-3);
+    double g1 = ll.guardband(1e-9, 0.8, 2e9);
+    double g2 = ll.guardband(2e-9, 0.8, 2e9);
+    EXPECT_NEAR(g2, 2.0 * g1, 1e-15);
+}
+
+TEST(LoadLine, GuardbandProportionalToFrequency)
+{
+    LoadLine ll(1.9e-3);
+    double g1 = ll.guardband(2e-9, 0.8, 1e9);
+    double g2 = ll.guardband(2e-9, 0.8, 3e9);
+    EXPECT_NEAR(g2, 3.0 * g1, 1e-15);
+}
+
+TEST(LoadLine, GuardbandProportionalToVoltage)
+{
+    LoadLine ll(1.9e-3);
+    double g1 = ll.guardband(2e-9, 0.5, 2e9);
+    double g2 = ll.guardband(2e-9, 1.0, 2e9);
+    EXPECT_NEAR(g2, 2.0 * g1, 1e-15);
+}
+
+TEST(LoadLine, GuardbandProportionalToRll)
+{
+    LoadLine a(1.0e-3), b(2.0e-3);
+    EXPECT_NEAR(b.guardband(2e-9, 0.8, 2e9),
+                2.0 * a.guardband(2e-9, 0.8, 2e9), 1e-15);
+}
+
+// Calibration anchor: AVX2 (ΔCdyn ≈ 2.7 nF) at 2 GHz / 0.788 V with
+// RLL = 1.9 mΩ gives the ~8 mV step of Fig. 6.
+TEST(LoadLine, Fig6GuardbandAnchor)
+{
+    LoadLine ll(1.9e-3);
+    double gb = ll.guardband(2.7e-9, 0.788, 2e9);
+    EXPECT_NEAR(gb * 1000.0, 8.0, 0.3); // mV
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the leveled logger.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/log.hh"
+
+namespace ich
+{
+namespace
+{
+
+class LogTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { Log::setLevel(LogLevel::kNone); }
+};
+
+TEST_F(LogTest, DefaultLevelIsNone)
+{
+    EXPECT_EQ(Log::level(), LogLevel::kNone);
+}
+
+TEST_F(LogTest, SetLevelRoundTrips)
+{
+    Log::setLevel(LogLevel::kTrace);
+    EXPECT_EQ(Log::level(), LogLevel::kTrace);
+    Log::setLevel(LogLevel::kWarn);
+    EXPECT_EQ(Log::level(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, WriteBelowLevelIsSilentAndSafe)
+{
+    Log::setLevel(LogLevel::kNone);
+    // Must not crash or emit when disabled.
+    Log::write(LogLevel::kInfo, fromMicroseconds(10), "hidden");
+    Log::setLevel(LogLevel::kInfo);
+    Log::write(LogLevel::kInfo, fromMicroseconds(10), "shown");
+    Log::write(LogLevel::kTrace, fromMicroseconds(10), "hidden too");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the OS noise injector (§6.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/noise.hh"
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::quietChip;
+
+TEST(Noise, ZeroRatesInjectNothing)
+{
+    Simulation sim(quietChip(1.0));
+    NoiseInjector inj(sim.chip(), sim.rng(), NoiseConfig{}, 0, 0);
+    inj.start(fromMilliseconds(10));
+    sim.runFor(fromMilliseconds(10));
+    EXPECT_EQ(inj.interruptsInjected(), 0u);
+    EXPECT_EQ(inj.contextSwitchesInjected(), 0u);
+}
+
+TEST(Noise, InterruptRateApproximatelyRespected)
+{
+    Simulation sim(quietChip(1.0));
+    NoiseConfig cfg;
+    cfg.interruptRatePerSec = 10000.0;
+    NoiseInjector inj(sim.chip(), sim.rng(), cfg, 0, 0);
+    inj.start(fromMilliseconds(100));
+    sim.runFor(fromMilliseconds(100));
+    // Expect ~1000 in 100 ms.
+    EXPECT_GT(inj.interruptsInjected(), 700u);
+    EXPECT_LT(inj.interruptsInjected(), 1300u);
+}
+
+TEST(Noise, StallsExtendRunningLoop)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.mark(0);
+    p.loop(InstClass::kScalar64, 2000, 100); // 102 us unthrottled
+    p.mark(1);
+    thr.setProgram(std::move(p));
+
+    NoiseConfig cfg;
+    cfg.contextSwitchRatePerSec = 5000.0; // dense: ~0.5 events in 102us…
+    cfg.interruptRatePerSec = 20000.0;
+    NoiseInjector inj(sim.chip(), sim.rng(), cfg, 0, 0);
+    inj.start(fromMilliseconds(5));
+    thr.start();
+    sim.run(fromMilliseconds(5));
+    double dur =
+        toMicroseconds(thr.records()[1].time - thr.records()[0].time);
+    EXPECT_GT(dur, 102.5); // stalls made it measurably longer
+}
+
+TEST(Noise, DeterministicPerSeed)
+{
+    auto run = [](std::uint64_t seed) {
+        Simulation sim(quietChip(1.0), seed);
+        NoiseConfig cfg;
+        cfg.interruptRatePerSec = 5000.0;
+        NoiseInjector inj(sim.chip(), sim.rng(), cfg, 0, 0);
+        inj.start(fromMilliseconds(50));
+        sim.runFor(fromMilliseconds(50));
+        return inj.interruptsInjected();
+    };
+    EXPECT_EQ(run(7), run(7));
+}
+
+TEST(Noise, StopsAtUntil)
+{
+    Simulation sim(quietChip(1.0));
+    NoiseConfig cfg;
+    cfg.interruptRatePerSec = 100000.0;
+    NoiseInjector inj(sim.chip(), sim.rng(), cfg, 0, 0);
+    inj.start(fromMicroseconds(100));
+    sim.runFor(fromMilliseconds(5));
+    auto count = inj.interruptsInjected();
+    sim.runFor(fromMilliseconds(5));
+    EXPECT_EQ(inj.interruptsInjected(), count);
+}
+
+} // namespace
+} // namespace ich

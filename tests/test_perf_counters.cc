@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Tests for performance-counter accrual, including the Fig. 11 invariant:
+ * throttled iterations show ~75% undelivered IDQ slots, unthrottled ~0.
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+using test::quietChip;
+
+TEST(PerfCounters, NormalizationHelper)
+{
+    EXPECT_DOUBLE_EQ(PerfCounters::normalizedNotDelivered(300, 100),
+                     0.75);
+    EXPECT_DOUBLE_EQ(PerfCounters::normalizedNotDelivered(0, 100), 0.0);
+    EXPECT_DOUBLE_EQ(PerfCounters::normalizedNotDelivered(10, 0), 0.0);
+}
+
+TEST(PerfCounters, ClkUnhaltedMatchesLoopCycles)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k256Heavy, 100, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    // 100 iterations * 101 cycles.
+    EXPECT_NEAR(static_cast<double>(thr.counters().clkUnhalted()),
+                10100.0, 20.0);
+}
+
+TEST(PerfCounters, InstRetiredCountsBodyPlusBranch)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k256Heavy, 100, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_NEAR(static_cast<double>(thr.counters().instRetired()),
+                100.0 * 101.0, 5.0);
+}
+
+TEST(PerfCounters, IdleAccruesNothing)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.idle(fromMicroseconds(100));
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(thr.counters().clkUnhalted(), 0u);
+}
+
+TEST(PerfCounters, UnthrottledLoopHasNoUndeliveredSlots)
+{
+    Simulation sim(quietChip(1.0)); // secure mode: never throttled
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k512Heavy, 200, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    EXPECT_EQ(thr.counters().idqUopsNotDelivered(), 0u);
+}
+
+// Fig. 11 / Key Conclusion 5: during the throttled portion of a PHI loop
+// the IDQ delivers nothing in ~75% of cycles.
+TEST(PerfCounters, ThrottledWindowShows75PctUndelivered)
+{
+    ChipConfig cfg = pinnedCannonLake(1.0);
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    // Short 512b loop: almost entirely inside the throttling period.
+    Program p;
+    p.loop(InstClass::k512Heavy, 10, 100);
+    thr.setProgram(std::move(p));
+
+    thr.start();
+    sim.run();
+    auto clk = thr.counters().clkUnhalted();
+    auto idq = thr.counters().idqUopsNotDelivered();
+    double norm = PerfCounters::normalizedNotDelivered(idq, clk);
+    EXPECT_GT(norm, 0.70);
+    EXPECT_LE(norm, 0.76);
+}
+
+TEST(PerfCounters, MixedLoopUndeliveredBetweenBounds)
+{
+    ChipConfig cfg = pinnedCannonLake(1.0);
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    // Long loop: throttled prefix + unthrottled tail.
+    Program p;
+    p.loop(InstClass::k512Heavy, 600, 100); // ~60 us @1GHz unthrottled
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run();
+    double norm = PerfCounters::normalizedNotDelivered(
+        thr.counters().idqUopsNotDelivered(),
+        thr.counters().clkUnhalted());
+    EXPECT_GT(norm, 0.02);
+    EXPECT_LT(norm, 0.70);
+}
+
+TEST(PerfCounters, ResetClearsCounters)
+{
+    PerfCounters pc;
+    pc.accrue(100.0, 50.0, 10.0);
+    EXPECT_EQ(pc.clkUnhalted(), 100u);
+    pc.reset();
+    EXPECT_EQ(pc.clkUnhalted(), 0u);
+    EXPECT_EQ(pc.instRetired(), 0u);
+    EXPECT_EQ(pc.idqUopsNotDelivered(), 0u);
+}
+
+} // namespace
+} // namespace ich

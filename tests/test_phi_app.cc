@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for the concurrent PHI-injecting application (§6.3, Fig. 14c).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/phi_app.hh"
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::pinnedCannonLake;
+
+TEST(PhiApp, ZeroRateInjectsNothing)
+{
+    Simulation sim(pinnedCannonLake());
+    PhiApp app(sim.chip(), sim.rng(), PhiAppConfig{}, 1, 0);
+    app.start(fromMilliseconds(10));
+    sim.runFor(fromMilliseconds(10));
+    EXPECT_EQ(app.burstsInjected(), 0u);
+}
+
+TEST(PhiApp, BurstsPerturbRailVoltage)
+{
+    ChipConfig cfg = pinnedCannonLake(1.4);
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg);
+    double v0 = sim.chip().vccVolts();
+    PhiAppConfig app_cfg;
+    app_cfg.phiRatePerSec = 5000.0;
+    PhiApp app(sim.chip(), sim.rng(), app_cfg, 1, 0);
+    app.start(fromMilliseconds(20));
+    sim.runFor(fromMilliseconds(2));
+    EXPECT_GT(app.burstsInjected(), 0u);
+    // At 5000 bursts/s the hysteresis keeps a guardband almost always.
+    EXPECT_GT(sim.chip().vccVolts(), v0 + 0.0005);
+}
+
+TEST(PhiApp, RateApproximatelyRespected)
+{
+    Simulation sim(pinnedCannonLake());
+    PhiAppConfig cfg;
+    cfg.phiRatePerSec = 1000.0;
+    PhiApp app(sim.chip(), sim.rng(), cfg, 1, 0);
+    app.start(fromMilliseconds(100));
+    sim.runFor(fromMilliseconds(100));
+    EXPECT_GT(app.burstsInjected(), 60u);
+    EXPECT_LT(app.burstsInjected(), 140u);
+}
+
+TEST(PhiApp, GuardbandDecaysAfterBurstsStop)
+{
+    ChipConfig cfg = pinnedCannonLake(1.4);
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg);
+    double v0 = sim.chip().vccVolts();
+    PhiAppConfig app_cfg;
+    app_cfg.phiRatePerSec = 2000.0;
+    PhiApp app(sim.chip(), sim.rng(), app_cfg, 0, 0);
+    app.start(fromMilliseconds(5));
+    // Run far past the stop + reset-time: voltage back at baseline.
+    sim.runFor(fromMilliseconds(7));
+    EXPECT_NEAR(sim.chip().vccVolts(), v0, 1e-4);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Tests for Program construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Program, BuildersAppendSteps)
+{
+    Program p;
+    EXPECT_TRUE(p.empty());
+    p.loop(InstClass::k256Heavy, 100)
+        .waitUntilTsc(12345)
+        .idle(fromMicroseconds(5))
+        .mark(7)
+        .call([] {});
+    EXPECT_EQ(p.size(), 5u);
+    EXPECT_TRUE(std::holds_alternative<LoopStep>(p.step(0)));
+    EXPECT_TRUE(std::holds_alternative<WaitUntilTscStep>(p.step(1)));
+    EXPECT_TRUE(std::holds_alternative<IdleStep>(p.step(2)));
+    EXPECT_TRUE(std::holds_alternative<MarkStep>(p.step(3)));
+    EXPECT_TRUE(std::holds_alternative<CallStep>(p.step(4)));
+}
+
+TEST(Program, LoopStepCarriesKernel)
+{
+    Program p;
+    p.loop(InstClass::k512Heavy, 42, 7);
+    const auto &step = std::get<LoopStep>(p.step(0));
+    EXPECT_EQ(step.kernel.cls, InstClass::k512Heavy);
+    EXPECT_EQ(step.kernel.iterations, 42u);
+    EXPECT_EQ(step.kernel.unroll, 7);
+    EXPECT_EQ(step.recordEveryIterations, 0u);
+}
+
+TEST(Program, ChunkedLoopCarriesRecordingInfo)
+{
+    Program p;
+    p.loopChunked(InstClass::kScalar64, 1000, 100, /*tag=*/3, 20);
+    const auto &step = std::get<LoopStep>(p.step(0));
+    EXPECT_EQ(step.recordEveryIterations, 100u);
+    EXPECT_EQ(step.tag, 3);
+    EXPECT_EQ(step.kernel.unroll, 20);
+}
+
+TEST(Program, MarkCarriesTag)
+{
+    Program p;
+    p.mark(99);
+    EXPECT_EQ(std::get<MarkStep>(p.step(0)).tag, 99);
+}
+
+TEST(Program, OutOfRangeStepThrows)
+{
+    Program p;
+    p.mark(1);
+    EXPECT_THROW(p.step(5), std::out_of_range);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Parameterized property suites sweeping invariants across presets,
+ * frequencies, classes and coding parameters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "channels/coding.hh"
+#include "channels/cores_channel.hh"
+#include "channels/smt_channel.hh"
+#include "channels/thread_channel.hh"
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+ChipConfig
+presetByName(const std::string &name)
+{
+    if (name == "haswell")
+        return presets::haswell();
+    if (name == "coffeelake")
+        return presets::coffeeLake();
+    if (name == "skylake-server" || name == "skylake_server")
+        return presets::skylakeServer();
+    return presets::cannonLake();
+}
+
+// ---------------------------------------------------------------------
+// Property: throttling period is monotone non-decreasing in guardband
+// level on every preset at every frequency (Fig. 10a generalized).
+// ---------------------------------------------------------------------
+using PresetFreq = std::tuple<std::string, double>;
+
+class TpMonotoneProperty : public ::testing::TestWithParam<PresetFreq>
+{
+};
+
+TEST_P(TpMonotoneProperty, TpMonotoneInLevel)
+{
+    auto [name, freq] = GetParam();
+    ChipConfig cfg = presetByName(name);
+    cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+    cfg.pmu.governor.userspaceGhz = freq;
+    cfg.pmu.vr.commandJitter = 0;
+
+    double prev_tp = -1.0;
+    int prev_lvl = -1;
+    for (auto cls : kAllInstClasses) {
+        double tp = test::throttlePeriodUs(cfg, cls, freq);
+        int lvl = traits(cls).guardbandLevel;
+        if (lvl > prev_lvl)
+            EXPECT_GT(tp, prev_tp - 0.02) << toString(cls);
+        else
+            EXPECT_NEAR(tp, prev_tp, 0.1) << toString(cls);
+        prev_tp = tp;
+        prev_lvl = lvl;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TpMonotoneProperty,
+    ::testing::Values(PresetFreq{"cannonlake", 1.0},
+                      PresetFreq{"cannonlake", 1.4},
+                      PresetFreq{"cannonlake", 2.0},
+                      PresetFreq{"coffeelake", 1.4},
+                      PresetFreq{"coffeelake", 2.4},
+                      PresetFreq{"haswell", 1.4},
+                      PresetFreq{"skylake-server", 1.4}),
+    [](const ::testing::TestParamInfo<PresetFreq> &info) {
+        std::string name = std::get<0>(info.param);
+        for (auto &c : name)
+            if (c == '-')
+                c = '_';
+        return name + "_" +
+               std::to_string(
+                   static_cast<int>(std::get<1>(info.param) * 10));
+    });
+
+// ---------------------------------------------------------------------
+// Property: the guardband (Equation 1) scales linearly with frequency x
+// base voltage on every preset.
+// ---------------------------------------------------------------------
+class GuardbandScaling : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GuardbandScaling, LinearInVTimesF)
+{
+    ChipConfig cfg = presetByName(GetParam());
+    GuardbandModel gb(LoadLine(cfg.pmu.rllOhm), cfg.pmu.vf);
+    for (int lvl = 1; lvl < gb.numLevels(); ++lvl) {
+        double g1 = gb.gbVolts(lvl, 1.0);
+        double g2 = gb.gbVolts(lvl, 2.0);
+        double expected_ratio =
+            (gb.baseVolts(2.0) * 2.0) / (gb.baseVolts(1.0) * 1.0);
+        EXPECT_NEAR(g2 / g1, expected_ratio, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, GuardbandScaling,
+                         ::testing::Values("cannonlake", "coffeelake",
+                                           "haswell", "skylake_server"));
+
+// ---------------------------------------------------------------------
+// Property: repetition and Hamming codes round-trip random payloads of
+// many sizes, and repetition-k corrects any floor((k-1)/2) errors per
+// group.
+// ---------------------------------------------------------------------
+using CodingCase = std::tuple<int, int>; // (payload bits, k)
+
+class RepetitionProperty : public ::testing::TestWithParam<CodingCase>
+{
+};
+
+TEST_P(RepetitionProperty, RoundTripAndCorrection)
+{
+    auto [n, k] = GetParam();
+    BitVec bits;
+    unsigned x = static_cast<unsigned>(n * 31 + k);
+    for (int i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    BitVec coded = repetitionEncode(bits, k);
+    EXPECT_EQ(repetitionDecode(coded, k), bits);
+
+    // Flip floor((k-1)/2) bits in each group: still decodable.
+    BitVec corrupted = coded;
+    int flips = (k - 1) / 2;
+    for (int g = 0; g < n; ++g)
+        for (int f = 0; f < flips; ++f)
+            corrupted[static_cast<std::size_t>(g) * k + f] ^= 1;
+    EXPECT_EQ(repetitionDecode(corrupted, k), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RepetitionProperty,
+                         ::testing::Combine(::testing::Values(1, 7, 32,
+                                                              129),
+                                            ::testing::Values(1, 3, 5,
+                                                              7)));
+
+class HammingProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HammingProperty, RoundTripRandomPayload)
+{
+    int n = GetParam();
+    BitVec bits;
+    unsigned x = static_cast<unsigned>(n) * 2654435761u;
+    for (int i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    BitVec decoded = hammingDecode(hammingEncode(bits));
+    decoded.resize(bits.size());
+    EXPECT_EQ(decoded, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HammingProperty,
+                         ::testing::Values(4, 8, 12, 64, 100, 256));
+
+// ---------------------------------------------------------------------
+// Property: simultaneous PHI requests from N cores all release exactly
+// when the SVID queue drains, and the rail ends at the sum of all
+// guardbands (server preset stress).
+// ---------------------------------------------------------------------
+class SvidStress : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SvidStress, NCoreSimultaneousRequests)
+{
+    int n = GetParam();
+    ChipConfig cfg = presets::skylakeServer();
+    cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+    cfg.pmu.governor.userspaceGhz = 1.4;
+    cfg.pmu.vr.commandJitter = 0;
+    Simulation sim(cfg, 17);
+    Chip &chip = sim.chip();
+    double v0 = chip.vccVolts();
+
+    for (int c = 0; c < n; ++c) {
+        Program p;
+        p.mark(0);
+        p.loop(InstClass::k256Heavy, 600, 100);
+        p.mark(1);
+        chip.core(c).thread(0).setProgram(std::move(p));
+    }
+    for (int c = 0; c < n; ++c)
+        chip.core(c).thread(0).start();
+    sim.run(fromMilliseconds(5));
+
+    // All cores' guardbands granted, rail at the additive target.
+    double gb1 = chip.pmu().guardbandModel().gbVolts(3, 1.4);
+    EXPECT_NEAR(chip.vccVolts() - v0, n * gb1, 1e-4);
+    for (int c = 0; c < n; ++c)
+        EXPECT_EQ(chip.pmu().grantedLevel(c), 3);
+
+    // All requesting cores are released together when the SVID queue
+    // drains, so their completions cluster tightly — and every one of
+    // them ran longer than a solo core would (mutual exacerbation, with
+    // total ramp time growing with N).
+    Time first_done = ~Time{0}, last_done = 0;
+    for (int c = 0; c < n; ++c) {
+        const auto &recs = chip.core(c).thread(0).records();
+        ASSERT_EQ(recs.size(), 2u);
+        Time dur = recs[1].time - recs[0].time;
+        double solo_us = 3.0; // 256bH @1.4 GHz solo TP is ~3.6 us
+        double nominal_us = toMicroseconds(test::kernelPicos(
+            makeKernel(InstClass::k256Heavy, 600, 100), 1.4));
+        EXPECT_GT(toMicroseconds(dur), nominal_us + solo_us * 0.75 * n /
+                                           2.0);
+        first_done = std::min(first_done, recs[1].time);
+        last_done = std::max(last_done, recs[1].time);
+    }
+    EXPECT_LT(toMicroseconds(last_done - first_done), 3.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, SvidStress, ::testing::Values(2, 4, 8));
+
+// ---------------------------------------------------------------------
+// Property: channel results are identical across repeated construction
+// for every channel kind (determinism).
+// ---------------------------------------------------------------------
+class Determinism : public ::testing::TestWithParam<ChannelKind>
+{
+};
+
+TEST_P(Determinism, SameSeedSameTps)
+{
+    auto make = [&]() {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = 1234;
+        cfg.noise.interruptRatePerSec = 3000.0;
+        return cfg;
+    };
+    auto run = [&](const ChannelConfig &cfg) {
+        std::unique_ptr<CovertChannel> ch;
+        switch (GetParam()) {
+          case ChannelKind::kThread:
+            ch = std::make_unique<IccThreadCovert>(cfg);
+            break;
+          case ChannelKind::kSmt:
+            ch = std::make_unique<IccSMTcovert>(cfg);
+            break;
+          case ChannelKind::kCores:
+            ch = std::make_unique<IccCoresCovert>(cfg);
+            break;
+        }
+        return ch->transmit({1, 0, 1, 1, 0, 0});
+    };
+    TransmitResult a = run(make());
+    TransmitResult b = run(make());
+    EXPECT_EQ(a.tpUs, b.tpUs);
+    EXPECT_EQ(a.receivedBits, b.receivedBits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, Determinism,
+                         ::testing::Values(ChannelKind::kThread,
+                                           ChannelKind::kSmt,
+                                           ChannelKind::kCores),
+                         [](const auto &info) {
+                             return std::string(toString(info.param));
+                         });
+
+} // namespace
+} // namespace ich

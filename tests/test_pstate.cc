@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Tests for P-state helpers and license mapping (paper §5.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmu/pstate.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Pstate, LicenseForGbLevel)
+{
+    EXPECT_EQ(licenseForGbLevel(0), 0); // scalar / 128b-light
+    EXPECT_EQ(licenseForGbLevel(1), 0); // 128b-heavy
+    EXPECT_EQ(licenseForGbLevel(2), 1); // 256b-light → LVL1
+    EXPECT_EQ(licenseForGbLevel(3), 1); // 256b-heavy / 512b-light
+    EXPECT_EQ(licenseForGbLevel(4), 2); // 512b-heavy → LVL2
+}
+
+TEST(Pstate, SnapDownToBin)
+{
+    std::vector<double> bins = {0.8, 1.0, 1.2, 1.4};
+    EXPECT_DOUBLE_EQ(snapDownToBin(1.4, bins), 1.4);
+    EXPECT_DOUBLE_EQ(snapDownToBin(1.35, bins), 1.2);
+    EXPECT_DOUBLE_EQ(snapDownToBin(5.0, bins), 1.4);
+    EXPECT_DOUBLE_EQ(snapDownToBin(0.5, bins), 0.8); // clamp to lowest
+}
+
+TEST(Pstate, SnapHandlesFloatNoise)
+{
+    std::vector<double> bins = {0.8, 1.0, 1.2};
+    EXPECT_DOUBLE_EQ(snapDownToBin(1.2 - 1e-12, bins), 1.2);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the deterministic RNG wrapper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.uniform() == b.uniform())
+            ++same;
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(2.0, 5.0);
+        EXPECT_GE(x, 2.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.uniformInt(3, 6);
+        EXPECT_GE(v, 3u);
+        EXPECT_LE(v, 6u);
+        saw_lo |= v == 3;
+        saw_hi |= v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalZeroStddevReturnsMean)
+{
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+}
+
+TEST(Rng, NormalAtLeastClamps)
+{
+    Rng rng(7);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_GE(rng.normalAtLeast(0.0, 10.0, 1.0), 1.0);
+}
+
+TEST(Rng, ExponentialInterarrivalMeanApproximatesRate)
+{
+    Rng rng(11);
+    double rate = 1000.0; // 1000/s => mean 1 ms
+    double sum_us = 0.0;
+    int n = 5000;
+    for (int i = 0; i < n; ++i)
+        sum_us += toMicroseconds(rng.exponentialInterarrival(rate));
+    double mean_us = sum_us / n;
+    EXPECT_NEAR(mean_us, 1000.0, 100.0);
+}
+
+TEST(Rng, ExponentialZeroRateNeverFires)
+{
+    Rng rng(11);
+    EXPECT_EQ(rng.exponentialInterarrival(0.0), ~Time{0});
+}
+
+TEST(Rng, ChanceEdgeCases)
+{
+    Rng rng(3);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(5);
+    Rng b = a.fork();
+    // The fork must not replay the parent's stream.
+    Rng a2(5);
+    a2.fork();
+    double pa = a.uniform();
+    double pb = b.uniform();
+    EXPECT_NE(pa, pb);
+    // Determinism: same construction yields same fork.
+    EXPECT_DOUBLE_EQ(a2.uniform(), pa);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tests for the Simulation wrapper (run-to-done semantics, horizons,
+ * seed isolation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "test_util.hh"
+
+namespace ich
+{
+namespace
+{
+
+using test::quietChip;
+
+TEST(Simulation, RunStopsWhenAllProgramsDone)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::kScalar64, 1000, 100); // ~51 us
+    thr.setProgram(std::move(p));
+    thr.start();
+    Time end = sim.run(fromSeconds(1.0));
+    EXPECT_TRUE(thr.done());
+    EXPECT_LT(end, fromMicroseconds(100));
+}
+
+TEST(Simulation, RunRespectsHorizon)
+{
+    Simulation sim(quietChip(1.0));
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::kScalar64, 100000, 100); // ~5.1 ms
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.run(fromMicroseconds(100));
+    EXPECT_FALSE(thr.done());
+}
+
+TEST(Simulation, RunWithNoProgramsReturnsImmediately)
+{
+    Simulation sim(quietChip(1.0));
+    Time end = sim.run(fromSeconds(1.0));
+    // Only housekeeping events (decay scheduling etc.) may run.
+    EXPECT_LT(end, fromSeconds(1.0));
+}
+
+TEST(Simulation, RunForAdvancesExactly)
+{
+    Simulation sim(quietChip(1.0));
+    sim.runFor(fromMicroseconds(123));
+    EXPECT_EQ(sim.eq().now(), fromMicroseconds(123));
+    sim.runFor(fromMicroseconds(77));
+    EXPECT_EQ(sim.eq().now(), fromMicroseconds(200));
+}
+
+TEST(Simulation, IndependentInstancesDoNotInterfere)
+{
+    Simulation a(quietChip(1.0), 1);
+    Simulation b(quietChip(1.0), 2);
+    a.runFor(fromMicroseconds(500));
+    EXPECT_EQ(b.eq().now(), 0u);
+    EXPECT_EQ(a.eq().now(), fromMicroseconds(500));
+}
+
+TEST(Simulation, MultiThreadProgramsAllComplete)
+{
+    Simulation sim(quietChip(1.0));
+    Chip &chip = sim.chip();
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        for (int t = 0; t < chip.core(c).numThreads(); ++t) {
+            Program p;
+            p.loop(InstClass::kScalar64, 100 * (c + t + 1), 100);
+            chip.core(c).thread(t).setProgram(std::move(p));
+            chip.core(c).thread(t).start();
+        }
+    }
+    sim.run(fromSeconds(1.0));
+    for (int c = 0; c < chip.coreCount(); ++c)
+        for (int t = 0; t < chip.core(c).numThreads(); ++t)
+            EXPECT_TRUE(chip.core(c).thread(t).done());
+}
+
+} // namespace
+} // namespace ich

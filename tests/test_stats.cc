@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for Summary and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 0.001); // sample stddev
+}
+
+TEST(Summary, QuantileInterpolates)
+{
+    Summary s;
+    for (int i = 1; i <= 5; ++i)
+        s.add(i); // 1..5
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.25), 2.0);
+}
+
+TEST(Summary, QuantileAfterMoreAddsResorts)
+{
+    Summary s;
+    s.add(10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+    s.add(0.0);
+    s.add(20.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 0.0);
+}
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 0.0, 4), std::invalid_argument);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndDensity)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(2.5);
+    for (int i = 0; i < 5; ++i)
+        h.add(7.5);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.binCount(2), 5u);
+    EXPECT_EQ(h.binCount(7), 5u);
+    EXPECT_DOUBLE_EQ(h.density(2), 0.5);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.binLo(3), 3.0);
+    EXPECT_DOUBLE_EQ(h.binHi(3), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, ToStringSkipsEmptyBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(1.5);
+    std::string s = h.toString("label");
+    EXPECT_NE(s.find("# label"), std::string::npos);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the SVID serialization bus — the root cause of
+ * Multi-Throttling-Cores (paper §4.3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "pdn/svid.hh"
+
+namespace ich
+{
+namespace
+{
+
+VrConfig
+testConfig()
+{
+    VrConfig cfg;
+    cfg.slewVoltsPerSecond = 1000.0;
+    cfg.commandLatency = fromMicroseconds(1.0);
+    cfg.settleTime = fromMicroseconds(0.5);
+    return cfg;
+}
+
+TEST(Svid, SingleTransactionCompletes)
+{
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.750);
+    Svid svid(eq, vr);
+    bool done = false;
+    svid.submit(0.760, true, [&] { done = true; });
+    EXPECT_TRUE(svid.busy());
+    EXPECT_EQ(svid.upTransitionsInFlight(), 1);
+    eq.runToCompletion();
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(svid.busy());
+    EXPECT_EQ(svid.upTransitionsInFlight(), 0);
+    EXPECT_EQ(svid.completedTransactions(), 1u);
+}
+
+TEST(Svid, TransactionsAreSerialized)
+{
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.750);
+    Svid svid(eq, vr);
+    std::vector<std::pair<int, Time>> done;
+    svid.submit(0.760, true, [&] { done.push_back({1, eq.now()}); });
+    svid.submit(0.770, true, [&] { done.push_back({2, eq.now()}); });
+    EXPECT_EQ(svid.upTransitionsInFlight(), 2);
+    eq.runToCompletion();
+    ASSERT_EQ(done.size(), 2u);
+    EXPECT_EQ(done[0].first, 1);
+    EXPECT_EQ(done[1].first, 2);
+    // First: 1+10+0.5 = 11.5 us. Second starts only after the first:
+    // +1+10+0.5 = 23 us total.
+    EXPECT_EQ(done[0].second, fromMicroseconds(11.5));
+    EXPECT_EQ(done[1].second, fromMicroseconds(23.0));
+    EXPECT_DOUBLE_EQ(vr.volts(), 0.770);
+}
+
+TEST(Svid, SecondRequesterWaitsForFirst_CrossCoreExacerbation)
+{
+    // The Multi-Throttling-Cores shape: a transaction submitted shortly
+    // after another completes later than it would alone.
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.750);
+    Svid svid(eq, vr);
+    Time second_done = 0;
+    svid.submit(0.758, true); // "sender", 8 mV
+    eq.runUntil(fromNanoseconds(200)); // a few hundred cycles later
+    svid.submit(0.762, true, [&] { second_done = eq.now(); });
+    eq.runToCompletion();
+    // Alone from 0.750->0.762 would take 1+12+0.5 = 13.5 us. Queued
+    // behind the sender's 9.5 us transaction it finishes much later.
+    EXPECT_GT(second_done, fromMicroseconds(14.0));
+}
+
+TEST(Svid, DownTransitionsDoNotCountAsUp)
+{
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.770);
+    Svid svid(eq, vr);
+    svid.submit(0.750, false);
+    EXPECT_EQ(svid.upTransitionsInFlight(), 0);
+    EXPECT_TRUE(svid.busy());
+    eq.runToCompletion();
+    EXPECT_DOUBLE_EQ(vr.volts(), 0.750);
+}
+
+TEST(Svid, MixedQueueCountsOnlyUps)
+{
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.750);
+    Svid svid(eq, vr);
+    svid.submit(0.760, true);
+    svid.submit(0.755, false);
+    svid.submit(0.765, true);
+    EXPECT_EQ(svid.upTransitionsInFlight(), 2);
+    eq.runToCompletion();
+    EXPECT_EQ(svid.upTransitionsInFlight(), 0);
+    EXPECT_EQ(svid.completedTransactions(), 3u);
+}
+
+TEST(Svid, CallbackMaySubmitMore)
+{
+    EventQueue eq;
+    VoltageRegulator vr(eq, testConfig(), 0.750);
+    Svid svid(eq, vr);
+    bool chained = false;
+    svid.submit(0.760, true, [&] {
+        svid.submit(0.770, true, [&] { chained = true; });
+    });
+    eq.runToCompletion();
+    EXPECT_TRUE(chained);
+    EXPECT_DOUBLE_EQ(vr.volts(), 0.770);
+}
+
+} // namespace
+} // namespace ich

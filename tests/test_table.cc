@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tests for the text-table emitter.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Table, RejectsEmptyHeader)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsMismatchedRow)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.addRow({"1"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "2"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, FmtFormatsPrecision)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the throttle unit (paper §5.6, Fig. 11, Key Conclusion 5 and
+ * the §7 "Improved Core Throttling" mitigation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/throttle_unit.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(ThrottleUnit, UnthrottledHasFactorOne)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    EXPECT_FALSE(tu.throttled());
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(0, InstClass::k256Heavy), 1.0);
+    EXPECT_DOUBLE_EQ(tu.notDeliveredFraction(0, InstClass::k256Heavy),
+                     0.0);
+}
+
+TEST(ThrottleUnit, ClassicThrottlingBlocksBothSmtThreads)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, /*initiator=*/0);
+    // Key Conclusion 5: 1-of-4 delivery, shared IDQ interface.
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(0, InstClass::k256Heavy), 4.0);
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(1, InstClass::kScalar64), 4.0);
+    EXPECT_DOUBLE_EQ(tu.notDeliveredFraction(1, InstClass::kScalar64),
+                     0.75);
+}
+
+TEST(ThrottleUnit, DeassertRestoresFullSpeed)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, 0);
+    tu.deassertThrottle(ThrottleReason::kVoltageRamp);
+    EXPECT_FALSE(tu.throttled());
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(1, InstClass::kScalar64), 1.0);
+}
+
+TEST(ThrottleUnit, NestedAssertionsCount)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, 0);
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, 0);
+    tu.deassertThrottle(ThrottleReason::kVoltageRamp);
+    EXPECT_TRUE(tu.throttled());
+    tu.deassertThrottle(ThrottleReason::kVoltageRamp);
+    EXPECT_FALSE(tu.throttled());
+}
+
+TEST(ThrottleUnit, UnbalancedDeassertThrows)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    EXPECT_THROW(tu.deassertThrottle(ThrottleReason::kVoltageRamp),
+                 std::logic_error);
+}
+
+TEST(ThrottleUnit, ReasonsIndependent)
+{
+    ThrottleUnit tu(ThrottleConfig{});
+    tu.assertThrottle(ThrottleReason::kPstate, 0);
+    EXPECT_TRUE(tu.throttledFor(ThrottleReason::kPstate));
+    EXPECT_FALSE(tu.throttledFor(ThrottleReason::kVoltageRamp));
+    tu.deassertThrottle(ThrottleReason::kPstate);
+    EXPECT_FALSE(tu.throttled());
+}
+
+TEST(ThrottleUnit, ImprovedThrottlingSparesSiblingThread)
+{
+    ThrottleConfig cfg;
+    cfg.perThread = true;
+    ThrottleUnit tu(cfg);
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, /*initiator=*/0);
+    // §7: only the initiating thread's PHI uops are blocked.
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(0, InstClass::k256Heavy), 4.0);
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(1, InstClass::kScalar64), 1.0);
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(1, InstClass::k256Heavy), 1.0);
+}
+
+TEST(ThrottleUnit, ImprovedThrottlingSparesNonPhiUops)
+{
+    ThrottleConfig cfg;
+    cfg.perThread = true;
+    ThrottleUnit tu(cfg);
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, 0);
+    // The initiating thread's non-PHI uops are not blocked either.
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(0, InstClass::kScalar64), 1.0);
+}
+
+TEST(ThrottleUnit, PstateHaltsEvenWithImprovedThrottling)
+{
+    ThrottleConfig cfg;
+    cfg.perThread = true;
+    ThrottleUnit tu(cfg);
+    tu.assertThrottle(ThrottleReason::kPstate, 0);
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(1, InstClass::kScalar64), 4.0);
+}
+
+TEST(ThrottleUnit, WindowConfigControlsFactor)
+{
+    ThrottleConfig cfg;
+    cfg.windowCycles = 8;
+    ThrottleUnit tu(cfg);
+    tu.assertThrottle(ThrottleReason::kVoltageRamp, 0);
+    EXPECT_DOUBLE_EQ(tu.slowdownFactor(0, InstClass::k256Heavy), 8.0);
+    EXPECT_DOUBLE_EQ(tu.notDeliveredFraction(0, InstClass::k256Heavy),
+                     7.0 / 8.0);
+}
+
+} // namespace
+} // namespace ich

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for Trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "measure/trace.hh"
+
+namespace ich
+{
+namespace
+{
+
+TEST(Trace, EmptyTraceDefaults)
+{
+    Trace t("x");
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_DOUBLE_EQ(t.minValue(), 0.0);
+    EXPECT_DOUBLE_EQ(t.meanValue(), 0.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(100), 0.0);
+}
+
+TEST(Trace, MinMaxMean)
+{
+    Trace t("x");
+    t.add(0, 1.0);
+    t.add(10, 3.0);
+    t.add(20, 2.0);
+    EXPECT_DOUBLE_EQ(t.minValue(), 1.0);
+    EXPECT_DOUBLE_EQ(t.maxValue(), 3.0);
+    EXPECT_DOUBLE_EQ(t.meanValue(), 2.0);
+}
+
+TEST(Trace, ValueAtReturnsLastSampleBefore)
+{
+    Trace t("x");
+    t.add(fromMicroseconds(10), 1.0);
+    t.add(fromMicroseconds(20), 2.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(fromMicroseconds(5)), 0.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(fromMicroseconds(15)), 1.0);
+    EXPECT_DOUBLE_EQ(t.valueAt(fromMicroseconds(25)), 2.0);
+}
+
+TEST(Trace, ToRowsDecimates)
+{
+    Trace t("x");
+    for (int i = 0; i < 1000; ++i)
+        t.add(fromMicroseconds(i), i);
+    std::string rows = t.toRows(100);
+    // ~100 rows of "time value".
+    std::size_t lines = std::count(rows.begin(), rows.end(), '\n');
+    EXPECT_GE(lines, 90u);
+    EXPECT_LE(lines, 110u);
+}
+
+} // namespace
+} // namespace ich
