@@ -1,6 +1,8 @@
 /**
  * @file
- * Ablation studies for the design choices DESIGN.md §4 calls out.
+ * Ablation studies for the design choices DESIGN.md §4 calls out, as
+ * declarative scenarios on the exp::SweepRunner (parallel across
+ * --jobs workers; see --help for the shared harness flags).
  *
  * A1 — VR slew rate (the PDN knob separating Haswell/MBVR/LDO): how the
  *      thread channel's level separation scales with ramp speed, i.e.
@@ -16,135 +18,179 @@
  */
 
 #include <cstdio>
+#include <map>
 
 #include "bench_util.hh"
 #include "channels/framing.hh"
-#include "channels/smt_channel.hh"
-#include "channels/thread_channel.hh"
-#include "common/table.hh"
+#include "exp/exp.hh"
 
 using namespace ich;
 
 namespace
 {
 
-BitVec
-payload(std::size_t n, unsigned seed)
+ChannelConfig
+base(std::uint64_t seed)
 {
-    BitVec bits;
-    unsigned x = seed;
-    for (std::size_t i = 0; i < n; ++i) {
-        x = x * 1103515245 + 12345;
-        bits.push_back((x >> 16) & 1);
-    }
-    return bits;
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = seed;
+    return cfg;
+}
+
+exp::ScenarioRegistry
+buildScenarios()
+{
+    exp::ScenarioRegistry reg;
+
+    exp::ScenarioSpec a1;
+    a1.name = "a1-vr-slew";
+    a1.description =
+        "thread-channel level separation vs. VR slew rate (mV/us)";
+    a1.axes = {exp::axis("slew_mV_per_us",
+                         {0.5, 1.0, 2.5, 10.0, 50.0, 200.0})};
+    a1.baseSeed = 61;
+    a1.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.chip.pmu.vr.slewVoltsPerSecond =
+            ctx.point.get("slew_mV_per_us") * 1000.0;
+        IccThreadCovert ch(cfg);
+        exp::MetricMap m;
+        m["min_separation_us"] = ch.calibration().minSeparationUs();
+        m["ber_40b"] = ch.transmit(bench::lcgPayload(40, 1)).ber;
+        return m;
+    };
+    reg.add(std::move(a1));
+
+    exp::ScenarioSpec a2;
+    a2.name = "a2-period";
+    a2.description =
+        "BER vs. transaction period (reset-time fixed at 650 us)";
+    a2.axes = {exp::axis("period_us",
+                         {500.0, 620.0, 680.0, 710.0, 800.0})};
+    a2.baseSeed = 62;
+    a2.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.period = fromMicroseconds(ctx.point.get("period_us"));
+        IccThreadCovert ch(cfg);
+        exp::MetricMap m;
+        m["rated_bps"] = ch.ratedThroughputBps();
+        m["ber_60b"] = ch.transmit(bench::lcgPayload(60, 2)).ber;
+        return m;
+    };
+    reg.add(std::move(a2));
+
+    exp::ScenarioSpec a3;
+    a3.name = "a3-throttle-window";
+    a3.description =
+        "SMT-channel signal vs. IDQ throttle window (1 of N cycles)";
+    a3.axes = {exp::axis("window_N", {2.0, 4.0, 8.0})};
+    a3.baseSeed = 63;
+    a3.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.chip.core.throttle.windowCycles =
+            ctx.point.getInt("window_N");
+        IccSMTcovert ch(cfg);
+        exp::MetricMap m;
+        m["L1_mean_us"] = ch.calibration().meanUs(3);
+        m["min_separation_us"] = ch.calibration().minSeparationUs();
+        return m;
+    };
+    reg.add(std::move(a3));
+
+    exp::ScenarioSpec a4;
+    a4.name = "a4-cmd-jitter";
+    a4.description = "BER vs. VR command jitter (ns)";
+    a4.axes = {exp::axis("jitter_ns",
+                         {0.0, 200.0, 500.0, 1000.0, 2000.0})};
+    a4.baseSeed = 64;
+    a4.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.chip.pmu.vr.commandJitter =
+            fromNanoseconds(ctx.point.get("jitter_ns"));
+        IccThreadCovert ch(cfg);
+        exp::MetricMap m;
+        m["ber_80b"] = ch.transmit(bench::lcgPayload(80, 3)).ber;
+        return m;
+    };
+    reg.add(std::move(a4));
+
+    exp::ScenarioSpec a5;
+    a5.name = "a5-fec";
+    a5.description = "framed link (64-bit frames, 4 attempts) under "
+                     "8000 irq/s + 800 ctx/s";
+    a5.axes = {exp::axisLabeledValues(
+        "fec",
+        {{toString(FecScheme::kNone),
+          static_cast<double>(FecScheme::kNone)},
+         {toString(FecScheme::kHamming74),
+          static_cast<double>(FecScheme::kHamming74)},
+         {toString(FecScheme::kRepetition3),
+          static_cast<double>(FecScheme::kRepetition3)},
+         {toString(FecScheme::kRepetition5),
+          static_cast<double>(FecScheme::kRepetition5)}})};
+    a5.baseSeed = 65;
+    a5.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.noise.interruptRatePerSec = 8000.0;
+        cfg.noise.contextSwitchRatePerSec = 800.0;
+        IccThreadCovert ch(cfg);
+        FramingConfig fcfg;
+        fcfg.fec = static_cast<FecScheme>(ctx.point.getInt("fec"));
+        FramedLink link(ch, fcfg);
+        FramedResult r = link.transfer(bench::lcgPayload(128, 4));
+        exp::MetricMap m;
+        m["success"] = r.success ? 1.0 : 0.0;
+        m["frames_sent"] = static_cast<double>(r.framesSent);
+        m["goodput_bps"] = r.goodputBps;
+        m["raw_ber"] = r.rawBerObserved;
+        return m;
+    };
+    reg.add(std::move(a5));
+
+    return reg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::ScenarioRegistry reg = buildScenarios();
+    exp::CliOptions cli;
+    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    if (rc >= 0)
+        return rc;
+
     bench::banner("Ablations", "design-choice sensitivity sweeps");
 
-    // ---------------- A1: VR slew rate ---------------------------------
-    std::printf("A1: thread-channel level separation vs. VR slew rate\n");
-    Table a1({"slew_mV_per_us", "min_separation_us", "BER(40 bits)"});
-    for (double slew : {0.5, 1.0, 2.5, 10.0, 50.0, 200.0}) {
-        ChannelConfig cfg;
-        cfg.chip = presets::cannonLake();
-        cfg.chip.pmu.vr.slewVoltsPerSecond = slew * 1000.0;
-        cfg.seed = 61;
-        IccThreadCovert ch(cfg);
-        double sep = ch.calibration().minSeparationUs();
-        double ber = ch.transmit(payload(40, 1)).ber;
-        a1.addRow({Table::fmt(slew, 1), Table::fmt(sep, 3),
-                   Table::fmt(ber, 3)});
+    // Conclusion line per scenario, keyed by name so reordering or
+    // inserting scenarios can't mispair table and commentary.
+    const std::map<std::string, const char *> commentary = {
+        {"a1-vr-slew",
+         "-> separation shrinks ~1/slew; LDO-class slew (>=50 mV/us) "
+         "pushes levels under the jitter floor (the §7 mitigation)."},
+        {"a2-period",
+         "-> periods below TX + reset-time + down-ramp leave the "
+         "guardband elevated, compressing levels: the 650 us hysteresis "
+         "bounds the channel rate."},
+        {"a3-throttle-window",
+         "-> the sibling's stall scales with (N-1)/N of the ramp time; "
+         "the paper's measured N=4 gives 75% starvation."},
+        {"a4-cmd-jitter",
+         "-> levels are ~1 us apart, so errors appear once jitter "
+         "approaches the level spacing."},
+        {"a5-fec",
+         "-> §6.3: coding + retransmission trades throughput for "
+         "reliability; stronger codes need fewer retries."},
+    };
+    for (const auto &spec : reg.scenarios()) {
+        if (!exp::wantScenario(cli, spec.name))
+            continue;
+        exp::runAndReport(spec, cli);
+        auto it = commentary.find(spec.name);
+        if (it != commentary.end())
+            std::printf("%s\n\n", it->second);
     }
-    std::printf("%s", a1.toString().c_str());
-    std::printf("-> separation shrinks ~1/slew; LDO-class slew "
-                "(>=50 mV/us) pushes levels under the jitter floor "
-                "(the §7 mitigation).\n\n");
-
-    // ---------------- A2: reset-time vs. period ------------------------
-    std::printf("A2: BER vs. transaction period (reset-time fixed at "
-                "650 us)\n");
-    Table a2({"period_us", "rated_bps", "BER(60 bits)"});
-    for (double period_us : {500.0, 620.0, 680.0, 710.0, 800.0}) {
-        ChannelConfig cfg;
-        cfg.chip = presets::cannonLake();
-        cfg.period = fromMicroseconds(period_us);
-        cfg.seed = 62;
-        IccThreadCovert ch(cfg);
-        a2.addRow({Table::fmt(period_us, 0),
-                   Table::fmt(ch.ratedThroughputBps(), 0),
-                   Table::fmt(ch.transmit(payload(60, 2)).ber, 3)});
-    }
-    std::printf("%s", a2.toString().c_str());
-    std::printf("-> periods below TX + reset-time + down-ramp leave the "
-                "guardband elevated, compressing levels: the 650 us "
-                "hysteresis bounds the channel rate.\n\n");
-
-    // ---------------- A3: throttle window ------------------------------
-    std::printf("A3: SMT-channel signal vs. IDQ throttle window "
-                "(deliver 1 of N cycles)\n");
-    Table a3({"window_N", "L1_mean_us", "min_separation_us"});
-    for (int window : {2, 4, 8}) {
-        ChannelConfig cfg;
-        cfg.chip = presets::cannonLake();
-        cfg.chip.core.throttle.windowCycles = window;
-        cfg.seed = 63;
-        IccSMTcovert ch(cfg);
-        a3.addRow({std::to_string(window),
-                   Table::fmt(ch.calibration().meanUs(3), 2),
-                   Table::fmt(ch.calibration().minSeparationUs(), 3)});
-    }
-    std::printf("%s", a3.toString().c_str());
-    std::printf("-> the sibling's stall scales with (N-1)/N of the "
-                "ramp time; the paper's measured N=4 gives 75%% "
-                "starvation.\n\n");
-
-    // ---------------- A4: command jitter -------------------------------
-    std::printf("A4: BER vs. VR command jitter\n");
-    Table a4({"jitter_ns", "BER(80 bits)"});
-    for (double jitter_ns : {0.0, 200.0, 500.0, 1000.0, 2000.0}) {
-        ChannelConfig cfg;
-        cfg.chip = presets::cannonLake();
-        cfg.chip.pmu.vr.commandJitter = fromNanoseconds(jitter_ns);
-        cfg.seed = 64;
-        IccThreadCovert ch(cfg);
-        a4.addRow({Table::fmt(jitter_ns, 0),
-                   Table::fmt(ch.transmit(payload(80, 3)).ber, 3)});
-    }
-    std::printf("%s", a4.toString().c_str());
-    std::printf("-> levels are ~1 us apart, so errors appear once "
-                "jitter approaches the level spacing.\n\n");
-
-    // ---------------- A5: FEC under heavy noise ------------------------
-    std::printf("A5: framed link (64-bit frames, 4 attempts) under "
-                "8000 irq/s + 800 ctx/s\n");
-    Table a5({"FEC", "success", "frames_sent", "goodput_bps",
-              "raw_BER"});
-    for (FecScheme fec :
-         {FecScheme::kNone, FecScheme::kHamming74,
-          FecScheme::kRepetition3, FecScheme::kRepetition5}) {
-        ChannelConfig cfg;
-        cfg.chip = presets::cannonLake();
-        cfg.noise.interruptRatePerSec = 8000.0;
-        cfg.noise.contextSwitchRatePerSec = 800.0;
-        cfg.seed = 65;
-        IccThreadCovert ch(cfg);
-        FramingConfig fcfg;
-        fcfg.fec = fec;
-        FramedLink link(ch, fcfg);
-        FramedResult r = link.transfer(payload(128, 4));
-        a5.addRow({toString(fec), r.success ? "yes" : "NO",
-                   std::to_string(r.framesSent),
-                   Table::fmt(r.goodputBps, 0),
-                   Table::fmt(r.rawBerObserved, 3)});
-    }
-    std::printf("%s", a5.toString().c_str());
-    std::printf("-> §6.3: coding + retransmission trades throughput for "
-                "reliability; stronger codes need fewer retries.\n");
     return 0;
 }

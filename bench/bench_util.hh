@@ -7,8 +7,12 @@
 #define ICH_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "channels/cores_channel.hh"
+#include "channels/smt_channel.hh"
+#include "channels/thread_channel.hh"
 #include "chip/presets.hh"
 #include "chip/simulation.hh"
 #include "isa/kernel.hh"
@@ -17,6 +21,23 @@ namespace ich
 {
 namespace bench
 {
+
+/**
+ * Deterministic LCG-generated payload. One copy here instead of one per
+ * harness; @p seed varies the bit pattern between experiments.
+ */
+inline BitVec
+lcgPayload(std::size_t n, unsigned seed)
+{
+    BitVec bits;
+    unsigned x = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    return bits;
+}
+
 
 /** Preset pinned at a fixed frequency (the paper's PoC setup). */
 inline ChipConfig

@@ -1,6 +1,7 @@
 /**
  * @file
- * Figure 12 reproduction: covert-channel throughput comparison.
+ * Figure 12 reproduction: covert-channel throughput comparison, as one
+ * declarative channel sweep on the exp::SweepRunner.
  *
  * (a) IccThreadCovert vs. NetSpectre (normalized — 2×).
  * (b) IccSMTcovert / IccCoresCovert vs. DFScovert, TurboCC, PowerT
@@ -19,102 +20,166 @@
 #include "baselines/turbocc.hh"
 #include "bench_util.hh"
 #include "channels/capacity.hh"
-#include "channels/cores_channel.hh"
-#include "channels/smt_channel.hh"
-#include "channels/thread_channel.hh"
-#include "common/table.hh"
+#include "exp/exp.hh"
 
 using namespace ich;
 
 namespace
 {
 
-BitVec
-payload(std::size_t n)
+enum Contender {
+    kIccThread,
+    kIccSmt,
+    kIccCores,
+    kNetSpectre,
+    kTurboCC,
+    kDfsCovert,
+    kPowerT,
+};
+
+/** One contender transfer: (throughput, BER) for its usual payload. */
+exp::MetricMap
+runContender(int which, std::uint64_t seed)
 {
-    BitVec bits;
-    unsigned x = 0xC0FFEE;
-    for (std::size_t i = 0; i < n; ++i) {
-        x = x * 1103515245 + 12345;
-        bits.push_back((x >> 16) & 1);
+    TransmitResult r;
+    switch (which) {
+    case kIccThread: {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = IccThreadCovert(cfg).transmit(bench::lcgPayload(64, 0xC0FFEE));
+        break;
     }
-    return bits;
+    case kIccSmt: {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = IccSMTcovert(cfg).transmit(bench::lcgPayload(64, 0xC0FFEE));
+        break;
+    }
+    case kIccCores: {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = IccCoresCovert(cfg).transmit(bench::lcgPayload(64, 0xC0FFEE));
+        break;
+    }
+    case kNetSpectre: {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = NetSpectre(cfg).transmit(bench::lcgPayload(32, 0xC0FFEE));
+        break;
+    }
+    case kTurboCC: {
+        TurboCCConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = TurboCC(cfg).transmit(bench::lcgPayload(12, 0xC0FFEE));
+        break;
+    }
+    case kDfsCovert: {
+        DfsCovertConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = DfsCovert(cfg).transmit(bench::lcgPayload(8, 0xC0FFEE));
+        break;
+    }
+    case kPowerT: {
+        PowerTConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = seed;
+        r = PowerT(cfg).transmit(bench::lcgPayload(16, 0xC0FFEE));
+        break;
+    }
+    }
+    exp::MetricMap m;
+    m["throughput_bps"] = r.throughputBps;
+    m["ber"] = r.ber;
+    return m;
+}
+
+exp::ScenarioRegistry
+buildScenarios()
+{
+    exp::ScenarioRegistry reg;
+    exp::ScenarioSpec fig12;
+    fig12.name = "fig12-throughput";
+    fig12.description = "channel capacity vs. state of the art";
+    fig12.axes = {exp::axisLabeledValues(
+        "channel", {{"IccThreadCovert", kIccThread},
+                    {"IccSMTcovert", kIccSmt},
+                    {"IccCoresCovert", kIccCores},
+                    {"NetSpectre [91]", kNetSpectre},
+                    {"TurboCC [57]", kTurboCC},
+                    {"DFScovert [5]", kDfsCovert},
+                    {"PowerT [59]", kPowerT}})};
+    fig12.baseSeed = 99;
+    fig12.run = [](const exp::TrialContext &ctx) {
+        return runContender(ctx.point.getInt("channel"), ctx.seed);
+    };
+    reg.add(std::move(fig12));
+    return reg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    exp::ScenarioRegistry reg = buildScenarios();
+    exp::CliOptions cli;
+    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    if (rc >= 0)
+        return rc;
+
     bench::banner("Figure 12", "channel capacity vs. state of the art");
 
-    ChannelConfig cfg;
-    cfg.chip = presets::cannonLake();
-    cfg.seed = 99;
+    exp::SweepResult res =
+        exp::runAndReport(*reg.find("fig12-throughput"), cli);
 
-    Table t({"channel", "throughput_bps", "BER", "vs IccCores"});
-
-    IccThreadCovert thread_ch(cfg);
-    auto r_thread = thread_ch.transmit(payload(64));
-
-    IccSMTcovert smt_ch(cfg);
-    auto r_smt = smt_ch.transmit(payload(64));
-
-    IccCoresCovert cores_ch(cfg);
-    auto r_cores = cores_ch.transmit(payload(64));
-    double ich_bps = r_cores.throughputBps;
-
-    NetSpectre ns(cfg);
-    auto r_ns = ns.transmit(payload(32));
-
-    TurboCCConfig tcfg;
-    tcfg.chip = presets::cannonLake();
-    TurboCC tc(tcfg);
-    auto r_tc = tc.transmit(payload(12));
-
-    DfsCovertConfig dcfg;
-    dcfg.chip = presets::cannonLake();
-    DfsCovert dc(dcfg);
-    auto r_dc = dc.transmit(payload(8));
-
-    PowerTConfig pcfg;
-    pcfg.chip = presets::cannonLake();
-    PowerT pt(pcfg);
-    auto r_pt = pt.transmit(payload(16));
-
-    auto row = [&](const char *name, const TransmitResult &r) {
-        t.addRow({name, Table::fmt(r.throughputBps, 0),
-                  Table::fmt(r.ber, 3),
-                  Table::fmt(ich_bps / r.throughputBps, 1) + "x"});
+    // Look up by the contender id stored in the grid point, so the
+    // epilogue stays correct if the axis list is ever reordered.
+    auto bps = [&](int which) {
+        for (const auto &pa : res.aggregates)
+            if (pa.point.getInt("channel") == which)
+                return pa.metrics.at("throughput_bps").mean;
+        throw std::out_of_range("fig12: no contender " +
+                                std::to_string(which));
     };
-    row("IccThreadCovert", r_thread);
-    row("IccSMTcovert", r_smt);
-    row("IccCoresCovert", r_cores);
-    row("NetSpectre [91]", r_ns);
-    row("TurboCC [57]", r_tc);
-    row("DFScovert [5]", r_dc);
-    row("PowerT [59]", r_pt);
-    std::printf("%s", t.toString().c_str());
+    double ich_bps = bps(kIccCores);
+
+    std::printf("speedup vs IccCoresCovert:\n");
+    for (const auto &pa : res.aggregates) {
+        std::printf("  %-18s %6.1fx\n",
+                    pa.point.label("channel").c_str(),
+                    ich_bps / pa.metrics.at("throughput_bps").mean);
+    }
 
     // Information-theoretic cross-check ([72] Millen): the measured
     // symbol->TP mutual information supports the full 2 bits/transaction.
-    std::printf("\nempirical channel capacity (I(X;Y), uniform input):\n");
+    ChannelConfig cfg;
+    cfg.chip = presets::cannonLake();
+    cfg.seed = 99;
+    IccThreadCovert thread_ch(cfg);
+    IccSMTcovert smt_ch(cfg);
+    IccCoresCovert cores_ch(cfg);
     auto mi = [&](CovertChannel &ch) {
         return CapacityEstimator::mutualInformationBits(
             CapacityEstimator::measure(ch, 16), 48);
     };
+    std::printf("\nempirical channel capacity (I(X;Y), uniform input):\n");
     std::printf("  IccThreadCovert %.2f bits/txn, IccSMTcovert %.2f, "
                 "IccCoresCovert %.2f (max 2.0)\n",
                 mi(thread_ch), mi(smt_ch), mi(cores_ch));
 
     std::printf("\n(a) IccThreadCovert / NetSpectre = %.2fx   "
                 "(paper: 2x)\n",
-                r_thread.throughputBps / r_ns.throughputBps);
+                bps(kIccThread) / bps(kNetSpectre));
     std::printf("(b) IccCores / DFScovert = %.0fx (paper: 145x), "
                 "/ TurboCC = %.0fx (paper: 47x), / PowerT = %.0fx "
                 "(paper: 24x)\n",
-                ich_bps / r_dc.throughputBps,
-                ich_bps / r_tc.throughputBps,
-                ich_bps / r_pt.throughputBps);
+                ich_bps / bps(kDfsCovert), ich_bps / bps(kTurboCC),
+                ich_bps / bps(kPowerT));
     return 0;
 }

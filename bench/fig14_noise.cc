@@ -1,6 +1,7 @@
 /**
  * @file
- * Figure 14 reproduction: channel accuracy under system noise.
+ * Figure 14 reproduction: channel accuracy under system noise, as three
+ * declarative sweeps on the exp::SweepRunner.
  *
  * (a) BER vs. interrupt / context-switch rate (1..10,000 events/s).
  * (b) Error matrix: which (App-PHI level, IChannels level) pairs decode
@@ -11,104 +12,172 @@
 #include <cstdio>
 
 #include "bench_util.hh"
-#include "channels/thread_channel.hh"
 #include "common/table.hh"
+#include "exp/exp.hh"
 
 using namespace ich;
 
 namespace
 {
 
-BitVec
-payload(std::size_t n, unsigned seed)
-{
-    BitVec bits;
-    unsigned x = seed;
-    for (std::size_t i = 0; i < n; ++i) {
-        x = x * 1103515245 + 12345;
-        bits.push_back((x >> 16) & 1);
-    }
-    return bits;
-}
-
 ChannelConfig
-base()
+base(std::uint64_t seed)
 {
     ChannelConfig cfg;
     cfg.chip = presets::cannonLake();
-    cfg.seed = 77;
+    cfg.seed = seed;
     return cfg;
 }
 
-} // namespace
-
-int
-main()
+exp::ScenarioRegistry
+buildScenarios()
 {
-    bench::banner("Figure 14", "bit-error rate under system noise");
+    exp::ScenarioRegistry reg;
 
-    // ------------------------------ (a) -------------------------------
-    std::printf("(a) BER vs. system-event rate (160-bit payloads)\n");
-    Table ta({"events_per_s", "BER_interrupts", "BER_ctx_switches"});
-    for (double rate : {1.0, 10.0, 100.0, 1000.0, 10000.0}) {
-        ChannelConfig ci = base();
-        ci.noise.interruptRatePerSec = rate;
-        IccThreadCovert chi(ci);
-        double ber_i = chi.transmit(payload(160, 1)).ber;
+    exp::ScenarioSpec a;
+    a.name = "fig14a-system-noise";
+    a.description = "BER vs. system-event rate (160-bit payloads)";
+    a.axes = {
+        exp::axisLabeled("noise_type", {"interrupts", "ctx_switches"}),
+        exp::axis("events_per_s",
+                  {1.0, 10.0, 100.0, 1000.0, 10000.0}),
+    };
+    a.baseSeed = 77;
+    a.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        double rate = ctx.point.get("events_per_s");
+        unsigned payload_seed;
+        if (ctx.point.getInt("noise_type") == 0) {
+            cfg.noise.interruptRatePerSec = rate;
+            payload_seed = 1;
+        } else {
+            cfg.noise.contextSwitchRatePerSec = rate;
+            payload_seed = 2;
+        }
+        IccThreadCovert ch(cfg);
+        exp::MetricMap m;
+        m["ber"] = ch.transmit(bench::lcgPayload(160, payload_seed)).ber;
+        return m;
+    };
+    reg.add(std::move(a));
 
-        ChannelConfig cc = base();
-        cc.noise.contextSwitchRatePerSec = rate;
-        IccThreadCovert chc(cc);
-        double ber_c = chc.transmit(payload(160, 2)).ber;
-
-        ta.addRow({Table::fmt(rate, 0), Table::fmt(ber_i, 4),
-                   Table::fmt(ber_c, 4)});
+    exp::ScenarioSpec b;
+    b.name = "fig14b-error-matrix";
+    b.description = "decode errors per (App-PHI level, IChannels level)";
+    // Axes derived from kNumSymbols: symbol s is power level L(N-s),
+    // encoding the 2-bit Gray-ish labels the paper uses (L4(00)..L1(11)).
+    std::vector<std::pair<std::string, double>> app_levels;
+    std::vector<std::pair<std::string, double>> ich_levels;
+    for (int s = 0; s < kNumSymbols; ++s) {
+        std::string level = "L" + std::to_string(kNumSymbols - s);
+        app_levels.push_back({level, static_cast<double>(s)});
+        std::string bits = std::string(1, '0' + ((s >> 1) & 1)) +
+                           std::string(1, '0' + (s & 1));
+        ich_levels.push_back({level + "(" + bits + ")",
+                              static_cast<double>(s)});
     }
-    std::printf("%s", ta.toString().c_str());
-    std::printf("expected shape: BER low (<~0.08) even at 10^4 events/s "
-                "— the decode window is only microseconds (§6.3).\n\n");
-
-    // ------------------------------ (b) -------------------------------
-    std::printf("(b) error matrix: App-PHI level vs. IChannels level\n");
-    Table tb({"App-PHI \\ ICh-PHI", "L4(00)", "L3(01)", "L2(10)",
-              "L1(11)"});
+    b.axes = {
+        exp::axisLabeledValues("app_level", app_levels),
+        exp::axisLabeledValues("ich_level", ich_levels),
+    };
+    b.baseSeed = 77;
     SymbolMap map = symbolMapFor(presets::cannonLake());
+    b.run = [map](const exp::TrialContext &ctx) {
+        // Exactly one app PHI of a fixed level collides with each
+        // transaction while the channel sends one fixed symbol.
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.burst.enabled = true;
+        cfg.burst.cls =
+            map.symbolClasses[ctx.point.getInt("app_level")];
+        IccThreadCovert ch(cfg);
+        int ich_s = ctx.point.getInt("ich_level");
+        std::vector<int> symbols(12, ich_s);
+        std::vector<double> tp = ch.runSymbols(symbols, true);
+        std::size_t errors = 0;
+        for (double v : tp)
+            if (ch.calibration().decode(v) != ich_s)
+                ++errors;
+        exp::MetricMap m;
+        m["err_frac"] =
+            static_cast<double>(errors) / static_cast<double>(tp.size());
+        return m;
+    };
+    reg.add(std::move(b));
+
+    exp::ScenarioSpec c;
+    c.name = "fig14c-app-phi";
+    c.description = "BER vs. App-PHI injection rate (random levels)";
+    c.axes = {exp::axis("app_phis_per_s",
+                        {10.0, 100.0, 1000.0, 10000.0})};
+    c.baseSeed = 77;
+    c.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg = base(ctx.seed);
+        cfg.app.phiRatePerSec = ctx.point.get("app_phis_per_s");
+        IccThreadCovert ch(cfg);
+        exp::MetricMap m;
+        m["ber"] = ch.transmit(bench::lcgPayload(160, 3)).ber;
+        return m;
+    };
+    reg.add(std::move(c));
+
+    return reg;
+}
+
+/** Render fig14b's flat sweep back into the paper's matrix shape. */
+void
+printErrorMatrix(const exp::SweepResult &res)
+{
+    // Cartesian order: app_level outermost, ich_level fastest; column
+    // headers come from the first row's ich_level labels.
+    std::vector<std::string> header = {"App-PHI \\ ICh-PHI"};
+    for (int ich_s = 0; ich_s < kNumSymbols; ++ich_s)
+        header.push_back(res.aggregates.at(ich_s).point.label("ich_level"));
+    Table tb(header);
     for (int app_s = 0; app_s < kNumSymbols; ++app_s) {
-        std::vector<std::string> row = {
-            "L" + std::to_string(4 - app_s)};
+        std::vector<std::string> row;
         for (int ich_s = 0; ich_s < kNumSymbols; ++ich_s) {
-            // Exactly one app PHI of a fixed level collides with each
-            // transaction while the channel sends one fixed symbol.
-            ChannelConfig cfg = base();
-            cfg.burst.enabled = true;
-            cfg.burst.cls = map.symbolClasses[app_s];
-            IccThreadCovert ch(cfg);
-            std::vector<int> symbols(12, ich_s);
-            std::vector<double> tp = ch.runSymbols(symbols, true);
-            std::size_t errors = 0;
-            for (double v : tp)
-                if (ch.calibration().decode(v) != ich_s)
-                    ++errors;
-            row.push_back(errors > symbols.size() / 4 ? "ERR" : "ok");
+            const auto &pa = res.aggregates.at(
+                static_cast<std::size_t>(app_s) * kNumSymbols + ich_s);
+            if (ich_s == 0)
+                row.push_back(pa.point.label("app_level"));
+            row.push_back(pa.metrics.at("err_frac").mean > 0.25 ? "ERR"
+                                                                : "ok");
         }
         tb.addRow(row);
     }
     std::printf("%s", tb.toString().c_str());
     std::printf("expected shape: errors (red cells in the paper) "
                 "exactly where App level > ICh level.\n\n");
+}
 
-    // ------------------------------ (c) -------------------------------
-    std::printf("(c) BER vs. App-PHI injection rate (random levels)\n");
-    Table tc({"app_phis_per_s", "BER"});
-    for (double rate : {10.0, 100.0, 1000.0, 10000.0}) {
-        ChannelConfig cfg = base();
-        cfg.app.phiRatePerSec = rate;
-        IccThreadCovert ch(cfg);
-        tc.addRow({Table::fmt(rate, 0),
-                   Table::fmt(ch.transmit(payload(160, 3)).ber, 4)});
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::ScenarioRegistry reg = buildScenarios();
+    exp::CliOptions cli;
+    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    if (rc >= 0)
+        return rc;
+
+    bench::banner("Figure 14", "bit-error rate under system noise");
+
+    if (exp::wantScenario(cli, "fig14a-system-noise")) {
+        exp::runAndReport(*reg.find("fig14a-system-noise"), cli);
+        std::printf("expected shape: BER low (<~0.08) even at 10^4 "
+                    "events/s — the decode window is only microseconds "
+                    "(§6.3).\n\n");
     }
-    std::printf("%s", tc.toString().c_str());
-    std::printf("expected shape: BER grows significantly with the "
-                "App-PHI rate (Fig. 14c).\n");
+    if (exp::wantScenario(cli, "fig14b-error-matrix")) {
+        exp::SweepResult rb =
+            exp::runAndReport(*reg.find("fig14b-error-matrix"), cli);
+        printErrorMatrix(rb);
+    }
+    if (exp::wantScenario(cli, "fig14c-app-phi")) {
+        exp::runAndReport(*reg.find("fig14c-app-phi"), cli);
+        std::printf("expected shape: BER grows significantly with the "
+                    "App-PHI rate (Fig. 14c).\n");
+    }
     return 0;
 }

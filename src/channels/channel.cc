@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "channels/cores_channel.hh"
+#include "channels/smt_channel.hh"
+#include "channels/thread_channel.hh"
+
 namespace ich
 {
 
@@ -18,6 +22,20 @@ toString(ChannelKind kind)
         return "IccCoresCovert";
     }
     return "?";
+}
+
+std::unique_ptr<CovertChannel>
+makeChannel(ChannelKind kind, const ChannelConfig &cfg)
+{
+    switch (kind) {
+      case ChannelKind::kThread:
+        return std::make_unique<IccThreadCovert>(cfg);
+      case ChannelKind::kSmt:
+        return std::make_unique<IccSMTcovert>(cfg);
+      case ChannelKind::kCores:
+        return std::make_unique<IccCoresCovert>(cfg);
+    }
+    throw std::invalid_argument("makeChannel: unknown ChannelKind");
 }
 
 CovertChannel::CovertChannel(ChannelConfig cfg)

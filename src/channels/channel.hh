@@ -33,6 +33,12 @@ enum class ChannelKind { kThread, kSmt, kCores };
 
 const char *toString(ChannelKind kind);
 
+class CovertChannel;
+
+/** Construct the IChannels covert channel of the given kind. */
+std::unique_ptr<CovertChannel> makeChannel(ChannelKind kind,
+                                           const struct ChannelConfig &cfg);
+
 /**
  * Deterministic per-transaction application PHI burst (the Fig. 14b
  * error-matrix experiment): one concurrent-app PHI of a fixed class

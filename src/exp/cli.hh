@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared command-line options for the experiment harnesses.
+ *
+ * Every harness built on the SweepRunner understands the same flags:
+ *
+ *   --jobs N      worker threads (default: hardware concurrency)
+ *   --seed S      override every scenario's base seed
+ *   --trials N    override trials-per-point
+ *   --json        write <scenario>.json into the results directory
+ *   --csv         write <scenario>.csv into the results directory
+ *   --out DIR     results directory (default "results"; implies files)
+ *   --list        list available scenarios and exit
+ *   --help        usage
+ *   NAME...       positional: run only the named scenarios
+ */
+
+#ifndef ICH_EXP_CLI_HH
+#define ICH_EXP_CLI_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+struct CliOptions {
+    int jobs = 0; ///< <= 0: hardware concurrency
+    std::optional<std::uint64_t> seed;
+    std::optional<int> trials;
+    bool json = false;
+    bool csv = false;
+    std::string outDir = "results";
+    bool list = false;
+    bool help = false;
+    std::vector<std::string> scenarios; ///< empty: run everything
+};
+
+/**
+ * Parse argv (argv[0] is skipped). Throws std::invalid_argument with a
+ * human-readable message on unknown flags or malformed values.
+ */
+CliOptions parseCli(int argc, const char *const *argv);
+
+/** Usage text for --help / parse errors. */
+std::string cliUsage(const std::string &prog);
+
+/** Runner options implied by the CLI flags. */
+RunnerOptions toRunnerOptions(const CliOptions &cli);
+
+/** True when @p name was selected (no positional args selects all). */
+bool wantScenario(const CliOptions &cli, const std::string &name);
+
+} // namespace exp
+} // namespace ich
+
+#endif // ICH_EXP_CLI_HH

@@ -1,0 +1,85 @@
+#include "exp/driver.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "exp/runner.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+int
+harnessSetup(int argc, const char *const *argv,
+             const ScenarioRegistry &registry, CliOptions &cli)
+{
+    std::string prog = argc > 0 ? argv[0] : "harness";
+    try {
+        cli = parseCli(argc, argv);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n%s", e.what(),
+                     cliUsage(prog).c_str());
+        return 2;
+    }
+    if (cli.help) {
+        std::printf("%s", cliUsage(prog).c_str());
+        return 0;
+    }
+    if (cli.list) {
+        for (const auto &spec : registry.scenarios())
+            std::printf("%-24s %s\n", spec.name.c_str(),
+                        spec.description.c_str());
+        return 0;
+    }
+    for (const auto &name : cli.scenarios) {
+        if (!registry.find(name)) {
+            std::fprintf(stderr,
+                         "error: unknown scenario '%s' (try --list)\n",
+                         name.c_str());
+            return 2;
+        }
+    }
+    return -1;
+}
+
+SweepResult
+runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
+{
+    SweepRunner runner(toRunnerOptions(cli));
+    SweepResult result;
+    try {
+        result = runner.run(spec);
+    } catch (const std::exception &e) {
+        // A failing trial is fatal for a CLI harness, but must surface
+        // as a clean message, not an uncaught-exception abort.
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+
+    std::printf("%s: %s\n", result.scenario.c_str(),
+                result.description.c_str());
+    std::printf("%s", textReport(result).c_str());
+    if (cli.json || cli.csv) {
+        // Report-file failures are fatal for a CLI harness, but must
+        // surface as a clean message, not an uncaught-exception abort.
+        try {
+            ReportPaths paths =
+                writeReports(result, cli.outDir, /*include_trials=*/true,
+                             cli.json, cli.csv);
+            if (!paths.json.empty())
+                std::printf("wrote %s\n", paths.json.c_str());
+            if (!paths.csv.empty())
+                std::printf("wrote %s\n", paths.csv.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+    std::printf("\n");
+    return result;
+}
+
+} // namespace exp
+} // namespace ich

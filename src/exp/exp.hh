@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Umbrella header for the experiment-orchestration subsystem.
+ *
+ * The pieces, bottom-up:
+ *  - scenario.hh   declarative ScenarioSpec / parameter axes / registry
+ *  - runner.hh     SweepRunner: worker-pool fan-out, deterministic seeds
+ *  - aggregate.hh  per-point metric summaries + whole-sweep rollups
+ *  - report.hh     text / JSON / CSV reporters
+ *  - cli.hh        shared harness flags (--jobs, --seed, --json, --out)
+ *  - driver.hh     run-and-report glue for the bench executables
+ */
+
+#ifndef ICH_EXP_EXP_HH
+#define ICH_EXP_EXP_HH
+
+#include "exp/aggregate.hh"
+#include "exp/cli.hh"
+#include "exp/driver.hh"
+#include "exp/json.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/scenario.hh"
+
+#endif // ICH_EXP_EXP_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer for the experiment reporters.
+ *
+ * Emits pretty-printed JSON with stable number formatting (%.10g, with
+ * NaN/Inf mapped to null), so a sweep serialized on any worker count —
+ * or re-run from the same seed — produces byte-identical output.
+ */
+
+#ifndef ICH_EXP_JSON_HH
+#define ICH_EXP_JSON_HH
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ich
+{
+namespace exp
+{
+
+/** Streaming JSON writer (objects/arrays nest; keys precede values). */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside the current object; follow with a value or begin*(). */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Finished document (call after the outermost end*()). */
+    std::string str() const;
+
+    static std::string escape(const std::string &s);
+    /** Stable rendering of a double (%.10g; NaN/Inf become null). */
+    static std::string number(double v);
+
+  private:
+    std::ostringstream os_;
+    std::vector<bool> hasItem_; ///< per open scope: already emitted item?
+    bool pendingKey_ = false;
+
+    void beforeValue();
+    void indent();
+};
+
+} // namespace exp
+} // namespace ich
+
+#endif // ICH_EXP_JSON_HH

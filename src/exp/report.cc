@@ -1,0 +1,231 @@
+#include "exp/report.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/table.hh"
+#include "exp/json.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+namespace
+{
+
+std::string
+cell(const MetricSummary &m)
+{
+    if (m.count <= 1)
+        return formatValue(m.mean);
+    return formatValue(m.mean) + " ±" + formatValue(m.stddev);
+}
+
+void
+writeSummary(JsonWriter &w, const MetricSummary &m)
+{
+    w.beginObject();
+    w.key("count").value(static_cast<std::uint64_t>(m.count));
+    w.key("mean").value(m.mean);
+    w.key("stddev").value(m.stddev);
+    w.key("min").value(m.min);
+    w.key("max").value(m.max);
+    w.key("p50").value(m.p50);
+    w.key("p90").value(m.p90);
+    w.key("p99").value(m.p99);
+    w.endObject();
+}
+
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+std::string
+textReport(const SweepResult &result)
+{
+    std::vector<std::string> metrics = metricNames(result);
+    std::vector<std::string> header;
+    std::vector<std::string> axes;
+    if (!result.points.empty())
+        for (const auto &e : result.points.front().entries())
+            axes.push_back(e.name);
+    header.insert(header.end(), axes.begin(), axes.end());
+    header.insert(header.end(), metrics.begin(), metrics.end());
+    if (header.empty())
+        return "(empty sweep)\n";
+
+    Table t(header);
+    for (const auto &pa : result.aggregates) {
+        std::vector<std::string> row;
+        for (const auto &a : axes)
+            row.push_back(pa.point.label(a));
+        for (const auto &m : metrics) {
+            auto it = pa.metrics.find(m);
+            row.push_back(it == pa.metrics.end() ? "-" : cell(it->second));
+        }
+        t.addRow(std::move(row));
+    }
+    std::string out = t.toString();
+    if (result.trialsPerPoint > 1) {
+        out += "(" + std::to_string(result.trialsPerPoint) +
+               " trials/point, base seed " +
+               std::to_string(result.baseSeed) + ")\n";
+    }
+    return out;
+}
+
+std::string
+jsonReport(const SweepResult &result, bool include_trials)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("scenario").value(result.scenario);
+    w.key("description").value(result.description);
+    w.key("base_seed").value(result.baseSeed);
+    w.key("trials_per_point").value(result.trialsPerPoint);
+
+    w.key("points").beginArray();
+    for (const auto &pa : result.aggregates) {
+        w.beginObject();
+        w.key("params").beginObject();
+        for (const auto &e : pa.point.entries()) {
+            w.key(e.name).beginObject();
+            w.key("value").value(e.value.value);
+            w.key("label").value(e.value.label);
+            w.endObject();
+        }
+        w.endObject();
+        w.key("metrics").beginObject();
+        for (const auto &kv : pa.metrics) {
+            w.key(kv.first);
+            writeSummary(w, kv.second);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("rollups").beginObject();
+    for (const auto &name : metricNames(result)) {
+        w.key(name);
+        writeSummary(w, rollup(result, name));
+    }
+    w.endObject();
+
+    if (include_trials) {
+        w.key("trials").beginArray();
+        for (const auto &t : result.trials) {
+            w.beginObject();
+            w.key("point").value(
+                static_cast<std::uint64_t>(t.pointIndex));
+            w.key("trial").value(t.trial);
+            w.key("seed").value(t.seed);
+            w.key("metrics").beginObject();
+            for (const auto &kv : t.metrics)
+                w.key(kv.first).value(kv.second);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+    }
+
+    w.endObject();
+    return w.str();
+}
+
+std::string
+csvReport(const SweepResult &result)
+{
+    std::vector<std::string> metrics = metricNames(result);
+    std::vector<std::string> axes;
+    if (!result.points.empty())
+        for (const auto &e : result.points.front().entries())
+            axes.push_back(e.name);
+
+    std::string out;
+    bool first = true;
+    for (const auto &a : axes) {
+        out += (first ? "" : ",") + csvEscape(a);
+        first = false;
+    }
+    for (const auto &m : metrics) {
+        out += (first ? "" : ",") + csvEscape(m + "_mean");
+        out += "," + csvEscape(m + "_stddev");
+        first = false;
+    }
+    out += "\n";
+
+    for (const auto &pa : result.aggregates) {
+        first = true;
+        for (const auto &a : axes) {
+            out += (first ? "" : ",") + csvEscape(pa.point.label(a));
+            first = false;
+        }
+        for (const auto &m : metrics) {
+            auto it = pa.metrics.find(m);
+            std::string mean = "-";
+            std::string sd = "-";
+            if (it != pa.metrics.end()) {
+                mean = formatValue(it->second.mean);
+                sd = formatValue(it->second.stddev);
+            }
+            out += (first ? "" : ",") + mean + "," + sd;
+            first = false;
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+ReportPaths
+writeReports(const SweepResult &result, const std::string &out_dir,
+             bool include_trials, bool write_json, bool write_csv)
+{
+    namespace fs = std::filesystem;
+    fs::path dir(out_dir);
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec)
+        throw std::runtime_error("writeReports: cannot create '" + out_dir +
+                                 "': " + ec.message());
+
+    auto write = [](const std::string &path, const std::string &content) {
+        std::ofstream f(path, std::ios::binary | std::ios::trunc);
+        if (!f)
+            throw std::runtime_error("writeReports: cannot open '" + path +
+                                     "'");
+        f << content;
+        if (!f.flush())
+            throw std::runtime_error("writeReports: write failed for '" +
+                                     path + "'");
+    };
+
+    ReportPaths paths;
+    if (write_json) {
+        paths.json = (dir / (result.scenario + ".json")).string();
+        write(paths.json, jsonReport(result, include_trials));
+    }
+    if (write_csv) {
+        paths.csv = (dir / (result.scenario + ".csv")).string();
+        write(paths.csv, csvReport(result));
+    }
+    return paths;
+}
+
+} // namespace exp
+} // namespace ich

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Reporters for sweep results: the table-style text the bench harnesses
+ * have always printed, plus machine-readable JSON and CSV written to a
+ * results directory.
+ *
+ * All three formats are derived only from deterministic sweep content
+ * (points, seeds, aggregates) — never from execution metadata like the
+ * worker count or wall time — so reports are byte-identical across
+ * --jobs settings.
+ */
+
+#ifndef ICH_EXP_REPORT_HH
+#define ICH_EXP_REPORT_HH
+
+#include <string>
+
+#include "exp/aggregate.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+/**
+ * Column-aligned text table: one row per grid point; axis columns show
+ * labels, metric columns show "mean" (single trial) or "mean ±stddev".
+ */
+std::string textReport(const SweepResult &result);
+
+/**
+ * Full JSON document: scenario header, per-point parameter values and
+ * metric summaries, whole-sweep rollups, and (optionally) the raw
+ * per-trial records with their derived seeds.
+ */
+std::string jsonReport(const SweepResult &result,
+                       bool include_trials = true);
+
+/**
+ * Wide CSV: one row per grid point; axis label columns followed by
+ * `<metric>_mean` / `<metric>_stddev` columns. (Full percentiles live
+ * in the JSON report.)
+ */
+std::string csvReport(const SweepResult &result);
+
+/** Paths produced by writeReports(); empty when a format was skipped. */
+struct ReportPaths {
+    std::string json;
+    std::string csv;
+};
+
+/**
+ * Write `<scenario>.json` / `<scenario>.csv` into @p out_dir (created,
+ * with parents, if missing), for whichever formats are selected.
+ * Throws std::runtime_error on I/O failure.
+ */
+ReportPaths writeReports(const SweepResult &result,
+                         const std::string &out_dir,
+                         bool include_trials = true,
+                         bool write_json = true, bool write_csv = true);
+
+} // namespace exp
+} // namespace ich
+
+#endif // ICH_EXP_REPORT_HH

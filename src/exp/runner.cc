@@ -1,0 +1,130 @@
+#include "exp/runner.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace ich
+{
+namespace exp
+{
+
+int
+resolveJobs(int jobs)
+{
+    if (jobs > 0)
+        return jobs;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+SweepRunner::SweepRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
+
+SweepResult
+SweepRunner::run(const ScenarioSpec &spec) const
+{
+    if (!spec.run)
+        throw std::invalid_argument("SweepRunner: scenario '" + spec.name +
+                                    "' has no trial function");
+
+    SweepResult result;
+    result.scenario = spec.name;
+    result.description = spec.description;
+    result.baseSeed = opts_.seed.value_or(spec.baseSeed);
+    result.trialsPerPoint = opts_.trials.value_or(spec.trials);
+    if (result.trialsPerPoint < 1)
+        throw std::invalid_argument("SweepRunner: trials must be >= 1");
+    result.points = expandPoints(spec);
+    result.jobs = resolveJobs(opts_.jobs);
+
+    const std::size_t trials_per_point =
+        static_cast<std::size_t>(result.trialsPerPoint);
+    const std::size_t total = result.points.size() * trials_per_point;
+    result.trials.resize(total);
+
+    // Work distribution: an atomic cursor over the flat global trial
+    // index. Workers write only their own pre-sized slot, so no result
+    // ordering depends on scheduling.
+    std::atomic<std::size_t> cursor{0};
+    std::mutex progress_mu;
+    std::size_t completed = 0; // guarded by progress_mu
+    std::mutex error_mu;
+    std::size_t first_error_idx = total;
+    std::string first_error_msg;
+
+    auto record_error = [&](std::size_t idx, const std::string &msg) {
+        {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (idx < first_error_idx) {
+                first_error_idx = idx;
+                first_error_msg = msg;
+            }
+        }
+        // The sweep is doomed; drain the queue so in-flight trials are
+        // the only remaining work instead of running the whole grid.
+        cursor.store(total);
+    };
+
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t idx = cursor.fetch_add(1);
+            if (idx >= total)
+                return;
+            std::size_t point_idx = idx / trials_per_point;
+            TrialRecord &rec = result.trials[idx];
+            rec.pointIndex = point_idx;
+            rec.trial = static_cast<int>(idx % trials_per_point);
+            rec.seed = deriveTrialSeed(result.baseSeed, idx);
+            TrialContext ctx{result.points[point_idx], point_idx, rec.trial,
+                             rec.seed};
+            try {
+                rec.metrics = spec.run(ctx);
+            } catch (const std::exception &e) {
+                record_error(idx, e.what());
+            } catch (...) {
+                // A non-std::exception escaping the worker thread would
+                // otherwise std::terminate the whole process.
+                record_error(idx, "unknown exception type");
+            }
+            if (opts_.progress) {
+                // Count inside the lock so callbacks see a monotonic
+                // completion sequence.
+                std::lock_guard<std::mutex> lock(progress_mu);
+                opts_.progress(++completed, total);
+            }
+        }
+    };
+
+    auto t0 = std::chrono::steady_clock::now();
+    int n_workers =
+        static_cast<int>(std::min<std::size_t>(result.jobs, total));
+    if (n_workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (int i = 0; i < n_workers; ++i)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    result.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    if (first_error_idx < total) {
+        throw std::runtime_error(
+            "scenario '" + spec.name + "': trial " +
+            std::to_string(first_error_idx) + " (" +
+            result.points[first_error_idx / trials_per_point].toString() +
+            ") failed: " + first_error_msg);
+    }
+
+    result.aggregates = aggregate(result.points, result.trials);
+    return result;
+}
+
+} // namespace exp
+} // namespace ich

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SweepRunner: executes a ScenarioSpec's trial grid on a fixed-size
+ * worker pool.
+ *
+ * Trials are embarrassingly parallel — each constructs its own
+ * Simulation from a seed derived deterministically from
+ * (base_seed, global_trial_index) — so results land in a pre-sized slot
+ * vector indexed by global trial index and are aggregated serially
+ * afterwards. A sweep run with --jobs 1 and --jobs N therefore produces
+ * byte-identical aggregates and reports.
+ */
+
+#ifndef ICH_EXP_RUNNER_HH
+#define ICH_EXP_RUNNER_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "exp/aggregate.hh"
+#include "exp/scenario.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+/** Execution options (shared by all harness CLIs). */
+struct RunnerOptions {
+    /** Worker threads; <= 0 means std::thread::hardware_concurrency(). */
+    int jobs = 0;
+    /** Override the spec's base seed. */
+    std::optional<std::uint64_t> seed;
+    /** Override the spec's trials-per-point. */
+    std::optional<int> trials;
+    /**
+     * Progress callback (completed, total), invoked from worker threads
+     * under an internal mutex. Leave empty for silent runs.
+     */
+    std::function<void(std::size_t, std::size_t)> progress;
+};
+
+/** Resolved worker count for @p jobs (<=0 → hardware concurrency). */
+int resolveJobs(int jobs);
+
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(RunnerOptions opts = {});
+
+    /**
+     * Expand the grid, run trials on the pool, aggregate. Throws
+     * std::runtime_error carrying the first failing trial's message if
+     * any trial threw.
+     */
+    SweepResult run(const ScenarioSpec &spec) const;
+
+    const RunnerOptions &options() const { return opts_; }
+
+  private:
+    RunnerOptions opts_;
+};
+
+} // namespace exp
+} // namespace ich
+
+#endif // ICH_EXP_RUNNER_HH

@@ -38,20 +38,6 @@ cfgFor(const std::string &preset)
     return cfg;
 }
 
-std::unique_ptr<CovertChannel>
-makeChannel(ChannelKind kind, const ChannelConfig &cfg)
-{
-    switch (kind) {
-      case ChannelKind::kThread:
-        return std::make_unique<IccThreadCovert>(cfg);
-      case ChannelKind::kSmt:
-        return std::make_unique<IccSMTcovert>(cfg);
-      case ChannelKind::kCores:
-        return std::make_unique<IccCoresCovert>(cfg);
-    }
-    return nullptr;
-}
-
 // ---------------------------------------------------------------------
 // Parameterized sweep: every channel on every preset that supports it
 // must transfer a payload error-free without noise (the Fig. 13
