@@ -6,7 +6,10 @@
 #ifndef ICH_BENCH_BENCH_UTIL_HH
 #define ICH_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -80,6 +83,31 @@ throttlePeriodUs(const ChipConfig &cfg, InstClass cls,
     double measured = toMicroseconds(recs.at(1).time - recs.at(0).time);
     double freq = cfg.pmu.governor.userspaceGhz;
     return measured - nominalUs(makeKernel(cls, iters, 100), freq);
+}
+
+/** Wall-clock seconds elapsed since @p t0 (perf-harness timing). */
+inline double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
+}
+
+/**
+ * Unsigned env-var override for perf-harness iteration counts (the CI
+ * smoke job shrinks them). Unset, empty, or malformed values — where
+ * strtoull yields 0 — fall back to @p fallback, so a typo can never
+ * produce a zero-length benchmark.
+ */
+inline std::uint64_t
+envCount(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    std::uint64_t parsed = std::strtoull(v, nullptr, 10);
+    return parsed > 0 ? parsed : fallback;
 }
 
 /** Banner for a bench harness. */

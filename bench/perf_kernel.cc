@@ -1,0 +1,375 @@
+/**
+ * @file
+ * Perf benchmark for the discrete-event kernel — the hot path under
+ * every covert-channel trial and sweep point.
+ *
+ * Three workloads, reported as one sweep (scenario "BENCH_kernel", so
+ * `--json --out DIR` writes DIR/BENCH_kernel.json):
+ *
+ *  - churn       self-rescheduling timer chains: pure schedule/fire
+ *                throughput. Also replays the identical workload on an
+ *                embedded copy of the pre-refactor queue
+ *                (shared_ptr<Entry> + std::function + unordered_map) and
+ *                reports the speedup ratio — the acceptance gate for the
+ *                slab/4-ary-heap rewrite is speedup >= 2.
+ *  - cancel_mix  schedule/deschedule-heavy traffic (timeout-style):
+ *                half of each round's events are cancelled before firing.
+ *  - sim_run     full Simulation::run of a preset chip with PHI loops on
+ *                every core — end-to-end events/sec including the
+ *                PMU/PDN machinery.
+ *
+ * Event counts scale down via ICH_PERF_EVENTS for CI smoke runs.
+ * Workers are forced to 1: wall-clock metrics must not contend.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "exp/exp.hh"
+#include "os/noise.hh"
+
+using namespace ich;
+
+namespace
+{
+
+// ------------------------------------------------------------------ legacy
+// Verbatim-in-spirit copy of the pre-refactor EventQueue (PR 1 state):
+// one shared_ptr allocation + one std::function (usually allocating) +
+// one unordered_map insert per event. Kept here, not in src/, purely as
+// the baseline the churn/cancel workloads are measured against.
+namespace legacy
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+    using EventId = std::uint64_t;
+
+    Time now() const { return now_; }
+
+    EventId
+    schedule(Time when, Callback cb, int priority = 0)
+    {
+        auto entry = std::make_shared<Entry>();
+        entry->when = when;
+        entry->priority = priority;
+        entry->id = nextId_++;
+        entry->cb = std::move(cb);
+        byId_[entry->id] = entry;
+        queue_.push(entry);
+        ++liveEvents_;
+        return entry->id;
+    }
+
+    EventId
+    scheduleIn(Time delay, Callback cb, int priority = 0)
+    {
+        return schedule(now_ + delay, std::move(cb), priority);
+    }
+
+    void
+    deschedule(EventId id)
+    {
+        auto it = byId_.find(id);
+        if (it == byId_.end())
+            return;
+        if (auto entry = it->second.lock()) {
+            if (!entry->cancelled) {
+                entry->cancelled = true;
+                --liveEvents_;
+            }
+        }
+        byId_.erase(it);
+    }
+
+    bool empty() const { return liveEvents_ == 0; }
+    std::uint64_t executedEvents() const { return executed_; }
+
+    bool
+    runOne()
+    {
+        while (!queue_.empty()) {
+            auto entry = queue_.top();
+            queue_.pop();
+            if (entry->cancelled)
+                continue;
+            byId_.erase(entry->id);
+            --liveEvents_;
+            now_ = entry->when;
+            ++executed_;
+            entry->cb();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    runToCompletion()
+    {
+        while (runOne()) {
+        }
+    }
+
+  private:
+    struct Entry {
+        Time when;
+        int priority;
+        EventId id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct EntryOrder {
+        bool
+        operator()(const std::shared_ptr<Entry> &a,
+                   const std::shared_ptr<Entry> &b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->id > b->id;
+        }
+    };
+
+    Time now_ = 0;
+    EventId nextId_ = 1;
+    std::size_t liveEvents_ = 0;
+    std::uint64_t executed_ = 0;
+    std::priority_queue<std::shared_ptr<Entry>,
+                        std::vector<std::shared_ptr<Entry>>,
+                        EntryOrder> queue_;
+    std::unordered_map<EventId, std::weak_ptr<Entry>> byId_;
+};
+
+} // namespace legacy
+
+// --------------------------------------------------------------- workloads
+
+using bench::envCount;
+using bench::secondsSince;
+
+/**
+ * Self-rescheduling timer chains: @p chains pending events ping forward
+ * with LCG-derived deltas until the fire budget is spent. The callback
+ * is a 16-byte trivially-copyable functor — the same size class as the
+ * simulator's real `[this, scalar]` captures, so neither queue is
+ * penalized on callback storage; the measured difference is the
+ * schedule/fire machinery itself. Returns events/sec.
+ */
+template <class Queue>
+struct ChurnBench {
+    Queue eq;
+    std::uint64_t fired = 0;
+    std::uint64_t total;
+    std::vector<std::uint64_t> lcg;
+
+    struct Fire {
+        ChurnBench *b;
+        unsigned c;
+        void operator()() const
+        {
+            ++b->fired;
+            b->arm(c);
+        }
+    };
+
+    void
+    arm(unsigned c)
+    {
+        if (fired >= total)
+            return;
+        std::uint64_t &l = lcg[c];
+        l = l * 6364136223846793005ULL + 1442695040888963407ULL;
+        eq.scheduleIn(1 + (l >> 33) % 1000, Fire{this, c});
+    }
+};
+
+template <class Queue>
+double
+churnThroughput(std::uint64_t total_events, unsigned chains,
+                std::uint64_t seed)
+{
+    ChurnBench<Queue> b;
+    b.total = total_events;
+    for (unsigned c = 0; c < chains; ++c)
+        b.lcg.push_back(seed + c);
+    for (unsigned c = 0; c < chains; ++c)
+        b.arm(c);
+    auto t0 = std::chrono::steady_clock::now();
+    while (b.eq.runOne()) {
+    }
+    double dt = secondsSince(t0);
+    return static_cast<double>(b.fired) / dt;
+}
+
+/**
+ * Timeout-style traffic: rounds of @p batch scheduled events of which
+ * every second one is descheduled before the round runs. Returns
+ * (schedules + deschedules + fires) per second.
+ */
+template <class Queue>
+double
+cancelMixThroughput(std::uint64_t total_ops, unsigned batch,
+                    std::uint64_t seed)
+{
+    Queue eq;
+    std::uint64_t ops = 0;
+    std::uint64_t lcg = seed;
+    std::vector<typename Queue::EventId> ids;
+    ids.reserve(batch);
+    auto t0 = std::chrono::steady_clock::now();
+    while (ops < total_ops) {
+        ids.clear();
+        for (unsigned i = 0; i < batch; ++i) {
+            lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+            Time delta = 1 + (lcg >> 33) % 500;
+            ids.push_back(eq.scheduleIn(delta, [] {}, i % 3));
+            ++ops;
+        }
+        for (unsigned i = 0; i < batch; i += 2) {
+            eq.deschedule(ids[i]);
+            ++ops;
+        }
+        while (eq.runOne())
+            ++ops;
+    }
+    return static_cast<double>(ops) / secondsSince(t0);
+}
+
+/**
+ * Full chip simulation on the paper preset: chunked PHI loops on every
+ * core (one boundary event per 10 iterations) under heavy OS noise, so
+ * the run exercises the whole event mix — thread boundaries, stall
+ * reschedules, PMU decay/licensing, VR transitions.
+ */
+exp::MetricMap
+simRunMetrics(std::uint64_t iters, std::uint64_t seed)
+{
+    ChipConfig cfg = bench::pinned(presets::cannonLake(), 3.0);
+    Simulation sim(cfg, seed);
+    int cores = sim.chip().numCores();
+    for (int c = 0; c < cores; ++c) {
+        Program p;
+        p.mark(0);
+        p.loopChunked(InstClass::k512Heavy, iters,
+                      /*record_every=*/10, /*tag=*/1);
+        p.mark(2);
+        sim.chip().core(c).thread(0).setProgram(std::move(p));
+    }
+    NoiseConfig ncfg;
+    ncfg.interruptRatePerSec = 50000.0;
+    ncfg.contextSwitchRatePerSec = 5000.0;
+    NoiseInjector noise(sim.chip(), sim.rng(), ncfg, /*core=*/0,
+                        /*smt=*/0);
+    noise.start(fromSeconds(1.0));
+    for (int c = 0; c < cores; ++c)
+        sim.chip().core(c).thread(0).start();
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run();
+    double dt = secondsSince(t0);
+    exp::MetricMap m;
+    m["sim_events"] = static_cast<double>(sim.eq().executedEvents());
+    m["sim_events_per_sec"] =
+        static_cast<double>(sim.eq().executedEvents()) / dt;
+    m["sim_wall_ms"] = dt * 1e3;
+    return m;
+}
+
+// Adapter so churn/cancel templates see the same surface on both queues.
+struct NewQueue : EventQueue {
+    using EventId = ich::EventId;
+};
+
+exp::ScenarioRegistry
+buildScenarios()
+{
+    // Defaults give stable numbers in ~seconds; CI smoke shrinks them.
+    const std::uint64_t churn_events =
+        envCount("ICH_PERF_EVENTS", 1000000);
+    const std::uint64_t mix_ops = envCount("ICH_PERF_EVENTS", 1000000);
+    const std::uint64_t sim_iters =
+        envCount("ICH_PERF_SIM_ITERS", 20000);
+    const unsigned chains = static_cast<unsigned>(
+        envCount("ICH_PERF_CHAINS", 256));
+
+    exp::ScenarioRegistry reg;
+    exp::ScenarioSpec spec;
+    spec.name = "BENCH_kernel";
+    spec.description = "event-kernel perf: slab/4-ary-heap queue vs "
+                       "legacy shared_ptr/std::function queue";
+    spec.axes = {exp::axisLabeled("workload",
+                                  {"churn", "cancel_mix", "sim_run"})};
+    spec.trials = 3;
+    spec.baseSeed = 99;
+    spec.run = [=](const exp::TrialContext &ctx) {
+        exp::MetricMap m;
+        switch (ctx.point.getInt("workload")) {
+        case 0: { // churn: the acceptance-gate workload
+            double now_eps =
+                churnThroughput<NewQueue>(churn_events, chains, ctx.seed);
+            double legacy_eps = churnThroughput<legacy::EventQueue>(
+                churn_events, chains, ctx.seed);
+            m["events_per_sec"] = now_eps;
+            m["legacy_events_per_sec"] = legacy_eps;
+            m["speedup_vs_legacy"] = now_eps / legacy_eps;
+            break;
+        }
+        case 1: { // cancel_mix
+            double now_ops =
+                cancelMixThroughput<NewQueue>(mix_ops, 256, ctx.seed);
+            double legacy_ops = cancelMixThroughput<legacy::EventQueue>(
+                mix_ops, 256, ctx.seed);
+            m["events_per_sec"] = now_ops;
+            m["legacy_events_per_sec"] = legacy_ops;
+            m["speedup_vs_legacy"] = now_ops / legacy_ops;
+            break;
+        }
+        default: // sim_run
+            m = simRunMetrics(sim_iters, ctx.seed);
+            m["events_per_sec"] = m["sim_events_per_sec"];
+            break;
+        }
+        return m;
+    };
+    reg.add(std::move(spec));
+    return reg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::ScenarioRegistry reg = buildScenarios();
+    exp::CliOptions cli;
+    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    if (rc >= 0)
+        return rc;
+    // Wall-clock metrics: never run trials concurrently.
+    cli.jobs = 1;
+
+    bench::banner("BENCH_kernel",
+                  "event-queue hot-path throughput (new vs legacy)");
+    exp::SweepResult res = exp::runAndReport(*reg.find("BENCH_kernel"), cli);
+
+    const auto &churn = res.aggregates.at(0).metrics;
+    double speedup = churn.at("speedup_vs_legacy").mean;
+    std::printf("\nchurn: %.2fM events/s new vs %.2fM events/s legacy "
+                "-> %.2fx speedup\n",
+                churn.at("events_per_sec").mean / 1e6,
+                churn.at("legacy_events_per_sec").mean / 1e6, speedup);
+    if (speedup < 2.0)
+        std::printf("WARNING: speedup below the 2x refactor target\n");
+    return 0;
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end sweep-throughput benchmark (scenario "BENCH_sweep", so
+ * `--json --out DIR` writes DIR/BENCH_sweep.json).
+ *
+ * Each outer point runs one complete src/exp sweep — a thread-channel
+ * BER grid with real Simulation trials — on an inner SweepRunner pinned
+ * to N workers, and reports points/sec and trials/sec. The jobs axis
+ * shows how the worker pool scales now that the event kernel, not the
+ * allocator, is the bottleneck.
+ *
+ * Inner trial count scales down via ICH_PERF_SWEEP_TRIALS for CI smoke
+ * runs. The outer runner is forced to 1 worker: wall-clock metrics must
+ * not contend (the inner pool is what is being measured).
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hh"
+#include "exp/exp.hh"
+
+using namespace ich;
+
+namespace
+{
+
+/** The measured workload: a small but real covert-channel sweep. */
+exp::ScenarioSpec
+innerSpec(int trials, std::uint64_t seed)
+{
+    exp::ScenarioSpec inner;
+    inner.name = "inner-ber-grid";
+    inner.description = "thread-channel BER vs noise (timing payload)";
+    inner.axes = {
+        exp::axis("noise_events_per_s", {0.0, 1000.0, 5000.0}),
+        exp::axis("payload_bits", {16.0, 32.0}),
+    };
+    inner.trials = trials;
+    inner.baseSeed = seed;
+    inner.run = [](const exp::TrialContext &ctx) {
+        ChannelConfig cfg;
+        cfg.chip = presets::cannonLake();
+        cfg.seed = ctx.seed;
+        cfg.noise.interruptRatePerSec =
+            ctx.point.get("noise_events_per_s");
+        auto ch = makeChannel(ChannelKind::kThread, cfg);
+        TransmitResult r = ch->transmit(bench::lcgPayload(
+            static_cast<std::size_t>(ctx.point.get("payload_bits")),
+            0xBEEF));
+        exp::MetricMap m;
+        m["ber"] = r.ber;
+        m["throughput_bps"] = r.throughputBps;
+        return m;
+    };
+    return inner;
+}
+
+exp::ScenarioRegistry
+buildScenarios()
+{
+    const int inner_trials = static_cast<int>(
+        bench::envCount("ICH_PERF_SWEEP_TRIALS", 2));
+
+    exp::ScenarioRegistry reg;
+    exp::ScenarioSpec spec;
+    spec.name = "BENCH_sweep";
+    spec.description = "src/exp sweep throughput (points/sec) vs inner "
+                       "worker count";
+    spec.axes = {exp::axis("jobs", {1.0, 2.0, 4.0})};
+    spec.trials = 2;
+    spec.baseSeed = 7;
+    spec.run = [=](const exp::TrialContext &ctx) {
+        exp::RunnerOptions opts;
+        opts.jobs = ctx.point.getInt("jobs");
+        exp::SweepRunner runner(opts);
+        exp::ScenarioSpec inner = innerSpec(inner_trials, ctx.seed);
+
+        auto t0 = std::chrono::steady_clock::now();
+        exp::SweepResult r = runner.run(inner);
+        double dt = bench::secondsSince(t0);
+
+        exp::MetricMap m;
+        m["points_per_sec"] = static_cast<double>(r.points.size()) / dt;
+        m["trials_per_sec"] = static_cast<double>(r.trials.size()) / dt;
+        m["sweep_wall_ms"] = dt * 1e3;
+        // Sanity tie-in so a broken inner sweep is visible in the JSON.
+        m["inner_trials"] = static_cast<double>(r.trials.size());
+        return m;
+    };
+    reg.add(std::move(spec));
+    return reg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    exp::ScenarioRegistry reg = buildScenarios();
+    exp::CliOptions cli;
+    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    if (rc >= 0)
+        return rc;
+    // The inner pool is the subject of measurement; keep the outer serial.
+    cli.jobs = 1;
+
+    bench::banner("BENCH_sweep", "end-to-end src/exp sweep throughput");
+    exp::SweepResult res = exp::runAndReport(*reg.find("BENCH_sweep"), cli);
+
+    exp::MetricSummary pps = exp::rollup(res, "points_per_sec");
+    std::printf("\nsweep throughput: mean %.2f points/s across jobs "
+                "settings (max %.2f)\n",
+                pps.mean, pps.max);
+    return 0;
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json perf reports emitted by bench/perf_kernel and
+bench/perf_sweep (via the src/exp JSON reporter).
+
+Fails (exit 1) on malformed JSON, an empty sweep, missing/empty metric
+summaries, or non-finite values — so the CI perf-smoke job catches a
+silently broken benchmark even though it never gates on absolute speed.
+
+Usage:
+    check_bench_json.py [--require METRIC]... FILE...
+
+Every --require METRIC must appear in at least one point of every FILE,
+with a finite mean and count >= 1.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SUMMARY_KEYS = ("count", "mean", "stddev", "min", "max", "p50", "p90",
+                "p99")
+
+
+def fail(path, msg):
+    print(f"check_bench_json: {path}: {msg}", file=sys.stderr)
+    return False
+
+
+def check_summary(path, metric, summary):
+    for key in SUMMARY_KEYS:
+        if key not in summary:
+            return fail(path, f"metric '{metric}' missing '{key}'")
+        value = summary[key]
+        if value is None or not isinstance(value, (int, float)):
+            return fail(
+                path, f"metric '{metric}' has non-numeric '{key}': "
+                f"{value!r} (NaN/Inf serialize to null)")
+        if not math.isfinite(value):
+            return fail(path, f"metric '{metric}' has non-finite '{key}'")
+    if summary["count"] < 1:
+        return fail(path, f"metric '{metric}' has count < 1")
+    return True
+
+
+def check_file(path, required):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"unreadable or malformed JSON: {e}")
+
+    if not isinstance(doc, dict) or not doc.get("scenario"):
+        return fail(path, "missing 'scenario'")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        return fail(path, "empty or missing 'points'")
+
+    seen = set()
+    ok = True
+    for i, point in enumerate(points):
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            ok = fail(path, f"point {i} has no metrics")
+            continue
+        for name, summary in metrics.items():
+            seen.add(name)
+            ok = check_summary(path, name, summary) and ok
+
+    for metric in required:
+        if metric not in seen:
+            ok = fail(path, f"required metric '{metric}' absent")
+    if ok:
+        print(f"check_bench_json: {path}: OK "
+              f"({doc['scenario']}, {len(points)} points, "
+              f"{len(seen)} metrics)")
+    return ok
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="METRIC",
+                        help="metric that must be present in every file")
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args()
+
+    ok = True
+    for path in args.files:
+        ok = check_file(path, args.require) and ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

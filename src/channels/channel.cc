@@ -103,12 +103,13 @@ CovertChannel::scheduleBursts(Simulation &sim,
     if (!cfg_.burst.enabled)
         return;
     Chip *chip = &sim.chip();
+    // Two events per transmitted symbol — the per-trial hot path.
     for (std::size_t k = 0; k < n_symbols; ++k) {
         Time when = chip->tscToTime(epochTsc(sim, k)) + cfg_.burst.offset;
-        sim.eq().schedule(when, [this, chip] {
+        sim.eq().scheduleChecked(when, [this, chip] {
             chip->phiStarted(cfg_.burst.core, cfg_.burst.smt,
                              cfg_.burst.cls);
-            chip->eventQueue().scheduleIn(
+            chip->eventQueue().scheduleInChecked(
                 cfg_.burst.duration, [this, chip] {
                     chip->kernelEnded(cfg_.burst.core, cfg_.burst.smt,
                                       cfg_.burst.cls);

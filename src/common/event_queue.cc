@@ -1,84 +1,139 @@
 #include "common/event_queue.hh"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace ich
 {
+
+EventQueue::~EventQueue() = default;
+
+std::uint32_t
+EventQueue::allocSlot()
+{
+    if (freeHead_ == kNilIndex) {
+        // Grow one slab and thread it onto the free list in ascending
+        // slot order (order is irrelevant for event ordering — the heap
+        // tie-breaks on the insertion sequence — but keeps ids tidy).
+        std::uint32_t base =
+            static_cast<std::uint32_t>(slabs_.size()) * kSlabSize;
+        slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+        for (std::uint32_t i = 0; i < kSlabSize; ++i)
+            node(base + i).nextFree =
+                (i + 1 < kSlabSize) ? base + i + 1 : kNilIndex;
+        freeHead_ = base;
+    }
+    std::uint32_t slot = freeHead_;
+    freeHead_ = node(slot).nextFree;
+    return slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Node &n = node(slot);
+    // Invalidate every outstanding handle to this slot. Wraparound after
+    // 2^32 reuses of one slot could theoretically resurrect a stale id;
+    // no simulated workload comes near that.
+    ++n.gen;
+    n.cb.reset();
+    n.live = false;
+    n.nextFree = freeHead_;
+    freeHead_ = slot;
+}
 
 EventId
 EventQueue::schedule(Time when, Callback cb, int priority)
 {
     if (when < now_)
         throw std::logic_error("EventQueue: scheduling into the past");
-    auto entry = std::make_shared<Entry>();
-    entry->when = when;
-    entry->priority = priority;
-    entry->id = nextId_++;
-    entry->cb = std::move(cb);
-    byId_[entry->id] = entry;
-    queue_.push(entry);
+    std::uint32_t slot = allocSlot();
+    Node &n = node(slot);
+    n.cb = std::move(cb);
+    n.live = true;
+    heapPush({when, nextSeq_++, priority, slot});
     ++liveEvents_;
-    return entry->id;
+    return makeId(slot, n.gen);
 }
 
 void
 EventQueue::deschedule(EventId id)
 {
-    auto it = byId_.find(id);
-    if (it == byId_.end())
+    std::uint64_t slotPlus1 = id >> 32;
+    if (slotPlus1 == 0 || slotPlus1 > slabs_.size() * kSlabSize)
         return;
-    if (auto entry = it->second.lock()) {
-        if (!entry->cancelled) {
-            entry->cancelled = true;
-            assert(liveEvents_ > 0);
-            --liveEvents_;
-        }
+    Node &n = node(static_cast<std::uint32_t>(slotPlus1 - 1));
+    if (!n.live || n.gen != static_cast<std::uint32_t>(id))
+        return;
+    // Tombstone: the heap entry stays until it surfaces at the root.
+    // Drop the callback now so captured state is released eagerly.
+    n.live = false;
+    n.cb.reset();
+    assert(liveEvents_ > 0);
+    --liveEvents_;
+}
+
+bool
+EventQueue::pruneHead()
+{
+    while (!heap_.empty()) {
+        std::uint32_t slot = heap_.front().slot;
+        if (node(slot).live)
+            return true;
+        heapPopRoot();
+        releaseSlot(slot);
     }
-    byId_.erase(it);
+    return false;
 }
 
 Time
 EventQueue::nextEventTime()
 {
-    while (!queue_.empty() && queue_.top()->cancelled)
-        queue_.pop();
-    return queue_.empty() ? ~Time{0} : queue_.top()->when;
+    return pruneHead() ? heap_.front().when : ~Time{0};
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!queue_.empty()) {
-        auto entry = queue_.top();
-        queue_.pop();
-        if (entry->cancelled)
+    for (;;) {
+        if (heap_.empty())
+            return false;
+        HeapEntry e = heap_.front();
+        heapPopRoot();
+        Node &n = node(e.slot);
+        if (!n.live) {
+            releaseSlot(e.slot);
             continue;
-        byId_.erase(entry->id);
+        }
+        assert(e.when >= now_);
+        // Mark dead before dispatch so deschedule() of the running
+        // event's own handle is a no-op; the slot is recycled only
+        // after the callback returns, so events it schedules can never
+        // collide with it. Node addresses are slab-stable, so growth
+        // inside the callback cannot invalidate @c n. The guard keeps
+        // the slot from leaking when the callback throws.
+        n.live = false;
         assert(liveEvents_ > 0);
         --liveEvents_;
-        assert(entry->when >= now_);
-        now_ = entry->when;
+        now_ = e.when;
         ++executed_;
-        entry->cb();
+        struct SlotGuard {
+            EventQueue *q;
+            std::uint32_t slot;
+            ~SlotGuard() { q->releaseSlot(slot); }
+        } guard{this, e.slot};
+        n.cb();
         return true;
     }
-    return false;
 }
 
 void
 EventQueue::runUntil(Time t)
 {
-    while (!queue_.empty()) {
-        // Skip tombstones so top() reflects a live event.
-        if (queue_.top()->cancelled) {
-            queue_.pop();
-            continue;
-        }
-        if (queue_.top()->when > t)
-            break;
+    while (pruneHead() && heap_.front().when <= t)
         runOne();
-    }
     if (t > now_)
         now_ = t;
 }
@@ -86,16 +141,54 @@ EventQueue::runUntil(Time t)
 Time
 EventQueue::runToCompletion(Time horizon)
 {
-    while (!queue_.empty()) {
-        if (queue_.top()->cancelled) {
-            queue_.pop();
-            continue;
-        }
-        if (queue_.top()->when > horizon)
-            break;
+    while (pruneHead() && heap_.front().when <= horizon)
         runOne();
-    }
     return now_;
+}
+
+void
+EventQueue::heapPush(const HeapEntry &e)
+{
+    // Hole-based sift-up: shift displaced parents down and write the new
+    // entry once, instead of swapping it level by level.
+    heap_.push_back(e);
+    std::size_t i = heap_.size() - 1;
+    while (i > 0) {
+        std::size_t parent = (i - 1) / 4;
+        if (!entryBefore(e, heap_[parent]))
+            break;
+        heap_[i] = heap_[parent];
+        i = parent;
+    }
+    heap_[i] = e;
+}
+
+void
+EventQueue::heapPopRoot()
+{
+    assert(!heap_.empty());
+    HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty())
+        return;
+    // Hole-based sift-down of the displaced tail entry.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+        std::size_t first = 4 * i + 1;
+        if (first >= n)
+            break;
+        std::size_t best = first;
+        std::size_t end = std::min(first + 4, n);
+        for (std::size_t c = first + 1; c < end; ++c)
+            if (entryBefore(heap_[c], heap_[best]))
+                best = c;
+        if (!entryBefore(heap_[best], last))
+            break;
+        heap_[i] = heap_[best];
+        i = best;
+    }
+    heap_[i] = last;
 }
 
 } // namespace ich

@@ -4,26 +4,43 @@
  *
  * All simulator components share one EventQueue. Events are ordered by
  * (time, priority, insertion sequence) so same-timestamp events execute
- * deterministically. Events can be descheduled; cancellation is O(1)
- * (a tombstone flag checked at pop time).
+ * deterministically. Events can be descheduled; cancellation is O(1).
+ *
+ * Hot-path design (this is the innermost loop of every covert-channel
+ * trial and sweep point):
+ *  - Event records live in a slab-allocated pool with free-list
+ *    recycling, so schedule()/fire cycles perform no per-event heap
+ *    allocation after warm-up.
+ *  - Callbacks are InlineFn (small-buffer storage) instead of
+ *    std::function, so the typical `[this, scalar...]` capture is stored
+ *    in place.
+ *  - EventId is generation-tagged (slot index + per-slot generation
+ *    counter), so deschedule() validates a handle in O(1) with no id
+ *    map; stale handles — already fired, already cancelled, or a slot
+ *    since recycled — are no-ops by construction.
+ *  - The ready queue is a flat 4-ary min-heap of POD entries; cancelled
+ *    entries are dropped lazily when they surface at the root.
  */
 
 #ifndef ICH_COMMON_EVENT_QUEUE_HH
 #define ICH_COMMON_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "common/inline_fn.hh"
 #include "common/types.hh"
 
 namespace ich
 {
 
-/** Opaque handle identifying a scheduled event. */
+/**
+ * Opaque handle identifying a scheduled event.
+ *
+ * Encoding: high 32 bits = slot index + 1 (so 0 stays the invalid
+ * handle), low 32 bits = the slot's generation at scheduling time.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -32,10 +49,19 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineFn<void()>;
 
     /** Invalid event handle. */
     static constexpr EventId kInvalidEvent = 0;
+
+    EventQueue() = default;
+
+    // The pool hands out interior pointers; moving the queue would not
+    // preserve them cheaply and no caller needs it.
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    ~EventQueue();
 
     /** Current simulated time. */
     Time now() const { return now_; }
@@ -58,8 +84,35 @@ class EventQueue
     }
 
     /**
-     * Cancel a pending event. Safe to call with an already-fired or
-     * already-cancelled handle (no-op).
+     * schedule() that additionally proves at compile time the callback
+     * fits the inline buffer. Hot call sites (one event per step /
+     * sample / symbol / transition) use this so an accidentally
+     * fattened capture is a compile error, not a silent per-event
+     * allocation.
+     */
+    template <class F>
+    EventId
+    scheduleChecked(Time when, F &&f, int priority = 0)
+    {
+        static_assert(Callback::fits<F>(),
+                      "hot-path event capture must stay allocation-free "
+                      "(shrink the capture or use schedule())");
+        return schedule(when, Callback(std::forward<F>(f)), priority);
+    }
+
+    /** scheduleIn() with the same compile-time inline-capture proof. */
+    template <class F>
+    EventId
+    scheduleInChecked(Time delay, F &&f, int priority = 0)
+    {
+        return scheduleChecked(now_ + delay, std::forward<F>(f),
+                               priority);
+    }
+
+    /**
+     * Cancel a pending event. Safe to call with an already-fired,
+     * already-cancelled, or otherwise stale handle (no-op) — including
+     * the handle of the event currently being dispatched.
      */
     void deschedule(EventId id);
 
@@ -93,36 +146,68 @@ class EventQueue
     /** Total events executed (for stats/tests). */
     std::uint64_t executedEvents() const { return executed_; }
 
+    /** Slots currently held by the pool (capacity diagnostic). */
+    std::size_t poolCapacity() const { return slabs_.size() * kSlabSize; }
+
   private:
-    struct Entry {
-        Time when;
-        int priority;
-        EventId id;
+    static constexpr std::uint32_t kSlabSize = 256;
+    static constexpr std::uint32_t kNilIndex = ~std::uint32_t{0};
+
+    /** Pooled event record; stable address within its slab. */
+    struct Node {
         Callback cb;
-        bool cancelled = false;
+        std::uint32_t gen = 0;       ///< bumped on every slot release
+        std::uint32_t nextFree = kNilIndex;
+        bool live = false;           ///< scheduled and not yet cancelled/fired
     };
 
-    struct EntryOrder {
-        bool
-        operator()(const std::shared_ptr<Entry> &a,
-                   const std::shared_ptr<Entry> &b) const
-        {
-            if (a->when != b->when)
-                return a->when > b->when;
-            if (a->priority != b->priority)
-                return a->priority > b->priority;
-            return a->id > b->id;
-        }
+    /** Heap entry; POD so sift operations are plain moves. */
+    struct HeapEntry {
+        Time when;
+        std::uint64_t seq; ///< global insertion sequence (tie-break)
+        std::int32_t priority;
+        std::uint32_t slot;
     };
+
+    static bool
+    entryBefore(const HeapEntry &a, const HeapEntry &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        if (a.priority != b.priority)
+            return a.priority < b.priority;
+        return a.seq < b.seq;
+    }
+
+    Node &
+    node(std::uint32_t slot)
+    {
+        return slabs_[slot / kSlabSize][slot % kSlabSize];
+    }
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(slot) + 1) << 32 | gen;
+    }
+
+    std::uint32_t allocSlot();
+    void releaseSlot(std::uint32_t slot);
+
+    /** Drop cancelled entries surfacing at the root; false when empty. */
+    bool pruneHead();
+
+    void heapPush(const HeapEntry &e);
+    void heapPopRoot();
 
     Time now_ = 0;
-    EventId nextId_ = 1;
+    std::uint64_t nextSeq_ = 0;
     std::size_t liveEvents_ = 0;
     std::uint64_t executed_ = 0;
-    std::priority_queue<std::shared_ptr<Entry>,
-                        std::vector<std::shared_ptr<Entry>>,
-                        EntryOrder> queue_;
-    std::unordered_map<EventId, std::weak_ptr<Entry>> byId_;
+
+    std::vector<HeapEntry> heap_;
+    std::vector<std::unique_ptr<Node[]>> slabs_;
+    std::uint32_t freeHead_ = kNilIndex;
 };
 
 } // namespace ich

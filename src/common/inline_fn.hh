@@ -1,0 +1,171 @@
+/**
+ * @file
+ * InlineFn: a move-only callable wrapper with small-buffer storage.
+ *
+ * std::function heap-allocates once the capture exceeds the
+ * implementation's tiny SBO window (16 bytes on libstdc++), which makes
+ * every scheduled simulator event cost a malloc/free pair. InlineFn
+ * reserves a configurable inline buffer (default 48 bytes — enough for
+ * every capture the PMU/PDN/channel layers actually use, typically
+ * `[this]` plus a couple of scalars) and only falls back to the heap for
+ * oversized or throwing-move callables. Hot-path call sites use
+ * `EventQueue::scheduleChecked()`, which static_asserts
+ * `InlineFn::fits<F>()` so an accidentally fattened capture is a compile
+ * error, not a silent perf regression.
+ */
+
+#ifndef ICH_COMMON_INLINE_FN_HH
+#define ICH_COMMON_INLINE_FN_HH
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ich
+{
+
+template <class Sig, std::size_t InlineBytes = 48>
+class InlineFn; // only the R(Args...) specialization exists
+
+template <class R, class... Args, std::size_t InlineBytes>
+class InlineFn<R(Args...), InlineBytes>
+{
+  public:
+    /** True when a D-typed callable lives in the inline buffer (no
+     *  allocation). Requires nothrow move so InlineFn's move stays
+     *  noexcept. */
+    template <class F>
+    static constexpr bool
+    fits()
+    {
+        using D = std::decay_t<F>;
+        return sizeof(D) <= InlineBytes &&
+               alignof(D) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible<D>::value;
+    }
+
+    static constexpr std::size_t
+    inlineCapacity()
+    {
+        return InlineBytes;
+    }
+
+    InlineFn() noexcept = default;
+    InlineFn(std::nullptr_t) noexcept {}
+
+    template <class F, class D = std::decay_t<F>,
+              class = std::enable_if_t<
+                  !std::is_same<D, InlineFn>::value &&
+                  std::is_invocable_r<R, D &, Args...>::value>>
+    InlineFn(F &&f)
+    {
+        emplace<D>(std::forward<F>(f));
+    }
+
+    InlineFn(InlineFn &&other) noexcept { moveFrom(other); }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    /** True when the held callable lives in the inline buffer. */
+    bool
+    isInline() const noexcept
+    {
+        return invoke_ != nullptr && heap_ == nullptr;
+    }
+
+    R
+    operator()(Args... args)
+    {
+        return invoke_(obj(), std::forward<Args>(args)...);
+    }
+
+    void
+    reset() noexcept
+    {
+        if (!invoke_)
+            return;
+        manage_(obj(), nullptr, heap_ ? Op::kDestroyHeap : Op::kDestroyInline);
+        invoke_ = nullptr;
+        manage_ = nullptr;
+        heap_ = nullptr;
+    }
+
+  private:
+    enum class Op { kDestroyInline, kDestroyHeap, kMoveTo };
+
+    using Invoke = R (*)(void *, Args &&...);
+    using Manage = void (*)(void *src, void *dst, Op op);
+
+    template <class D, class F>
+    void
+    emplace(F &&f)
+    {
+        if constexpr (fits<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+        } else {
+            heap_ = new D(std::forward<F>(f));
+        }
+        invoke_ = [](void *o, Args &&...args) -> R {
+            return (*static_cast<D *>(o))(std::forward<Args>(args)...);
+        };
+        manage_ = [](void *src, void *dst, Op op) {
+            D *s = static_cast<D *>(src);
+            switch (op) {
+            case Op::kDestroyInline:
+                s->~D();
+                break;
+            case Op::kDestroyHeap:
+                delete s;
+                break;
+            case Op::kMoveTo:
+                ::new (dst) D(std::move(*s));
+                s->~D();
+                break;
+            }
+        };
+    }
+
+    void
+    moveFrom(InlineFn &other) noexcept
+    {
+        invoke_ = other.invoke_;
+        manage_ = other.manage_;
+        heap_ = other.heap_;
+        if (invoke_ && !heap_)
+            manage_(other.buf_, buf_, Op::kMoveTo);
+        other.invoke_ = nullptr;
+        other.manage_ = nullptr;
+        other.heap_ = nullptr;
+    }
+
+    void *
+    obj() noexcept
+    {
+        return heap_ ? heap_ : static_cast<void *>(buf_);
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[InlineBytes];
+    void *heap_ = nullptr; ///< non-null: callable is heap-allocated
+    Invoke invoke_ = nullptr;
+    Manage manage_ = nullptr;
+};
+
+} // namespace ich
+
+#endif // ICH_COMMON_INLINE_FN_HH

@@ -266,8 +266,10 @@ HwThread::scheduleBoundary()
         when = now + 1; // mark/call resolve immediately on next refresh
     }
 
+    // One boundary event per program step — checked so the capture can
+    // never silently outgrow the callback's inline buffer.
     std::uint64_t gen = generation_;
-    boundaryEvent_ = eq.schedule(when, [this, gen] {
+    boundaryEvent_ = eq.scheduleChecked(when, [this, gen] {
         if (gen == generation_) {
             boundaryEvent_ = EventQueue::kInvalidEvent;
             refresh();

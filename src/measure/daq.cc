@@ -57,7 +57,8 @@ Daq::sample()
     }
     for (std::size_t i = 0; i < probes_.size(); ++i)
         traces_[i]->add(now, probes_[i]());
-    eq_.schedule(now + interval_, [this] { sample(); });
+    // Fires once per sample interval for the whole trace.
+    eq_.scheduleChecked(now + interval_, [this] { sample(); });
 }
 
 } // namespace ich

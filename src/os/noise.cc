@@ -26,7 +26,8 @@ NoiseInjector::scheduleInterrupt()
     Time when = chip_.eventQueue().now() + gap;
     if (when > until_)
         return;
-    chip_.eventQueue().schedule(when, [this] {
+    // One event per injected interrupt; rates reach 10k/s in the grids.
+    chip_.eventQueue().scheduleChecked(when, [this] {
         ++irqs_;
         Time dur = rng_.uniformInt(cfg_.interruptMin, cfg_.interruptMax);
         chip_.core(core_).thread(smt_).stallFor(dur);
@@ -41,7 +42,7 @@ NoiseInjector::scheduleContextSwitch()
     Time when = chip_.eventQueue().now() + gap;
     if (when > until_)
         return;
-    chip_.eventQueue().schedule(when, [this] {
+    chip_.eventQueue().scheduleChecked(when, [this] {
         ++ctxs_;
         Time dur = rng_.uniformInt(cfg_.contextSwitchMin,
                                    cfg_.contextSwitchMax);

@@ -24,7 +24,8 @@ PhiApp::scheduleBurst()
     Time when = chip_.eventQueue().now() + gap;
     if (when > until_)
         return;
-    chip_.eventQueue().schedule(when, [this] {
+    // App-PHI bursts fire at up to 1k/s alongside the covert channel.
+    chip_.eventQueue().scheduleChecked(when, [this] {
         ++bursts_;
         InstClass cls = cfg_.classes[rng_.uniformInt(
             0, cfg_.classes.size() - 1)];
@@ -35,7 +36,7 @@ PhiApp::scheduleBurst()
         double cycles = k.totalCycles();
         Time dur = static_cast<Time>(cycles *
                                      cyclePicos(chip_.freqGhz()));
-        chip_.eventQueue().scheduleIn(dur, [this, cls] {
+        chip_.eventQueue().scheduleInChecked(dur, [this, cls] {
             chip_.kernelEnded(core_, smt_, cls);
         });
         scheduleBurst();

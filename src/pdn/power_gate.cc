@@ -39,8 +39,9 @@ PowerGate::scheduleClose()
 {
     if (closeEvent_ != EventQueue::kInvalidEvent)
         eq_.deschedule(closeEvent_);
-    closeEvent_ = eq_.schedule(lastUse_ + cfg_.idleCloseDelay,
-                               [this] { maybeClose(); });
+    // Rescheduled on every gated-domain touch.
+    closeEvent_ = eq_.scheduleChecked(lastUse_ + cfg_.idleCloseDelay,
+                                      [this] { maybeClose(); });
 }
 
 void

@@ -37,7 +37,10 @@ Svid::startNext()
                           DoneCallback cb = std::move(txn.onDone);
                           cb();
                       }
-                      startNext();
+                      // The done callback may have submitted (and
+                      // thereby started) the next transaction already.
+                      if (!inFlight_)
+                          startNext();
                   });
 }
 

@@ -96,8 +96,9 @@ VoltageRegulator::setTarget(double target_volts, DoneCallback on_done)
     rampEndTime_ = rampStartTime_ + ramp;
     busy_ = true;
 
-    doneEvent_ = eq_.schedule(rampEndTime_ + cfg_.settleTime,
-                              [this] { finishTransition(); });
+    // One event per SVID voltage transaction.
+    doneEvent_ = eq_.scheduleChecked(rampEndTime_ + cfg_.settleTime,
+                                     [this] { finishTransition(); });
 }
 
 void

@@ -204,7 +204,9 @@ CentralPmu::scheduleDecay(CoreId core)
         eq_.deschedule(cs.decayEvent);
     Time when = std::max(eq_.now() + fromMicroseconds(1),
                          cs.lastPhi + cfg_.resetTime);
-    cs.decayEvent = eq_.schedule(when, [this, core] { decayCheck(core); });
+    // Rescheduled on every PHI start/stop; must not allocate.
+    cs.decayEvent =
+        eq_.scheduleChecked(when, [this, core] { decayCheck(core); });
 }
 
 void
@@ -303,7 +305,7 @@ CentralPmu::startPstateTransition(double target_ghz)
     ++pstateCount_;
     for (CoreId c = 0; c < hooks_.numCores(); ++c)
         hooks_.assertCoreThrottle(c, ThrottleReason::kPstate, 0);
-    eq_.scheduleIn(cfg_.pstate.transitionLatency, [this, target_ghz] {
+    auto cb = [this, target_ghz] {
         accrueEnergy();
         freqGhz_ = target_ghz;
         for (CoreId c = 0; c < hooks_.numCores(); ++c)
@@ -315,7 +317,9 @@ CentralPmu::startPstateTransition(double target_ghz)
                               target > vrs_[d]->volts() + 1e-9);
         }
         reevaluateFreq();
-    });
+    };
+    // One event per P-state transition; transitions dominate throttled runs.
+    eq_.scheduleInChecked(cfg_.pstate.transitionLatency, std::move(cb));
 }
 
 void

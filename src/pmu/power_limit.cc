@@ -59,7 +59,8 @@ PowerLimiter::evaluate()
     }
     if (capIdx_ != old_idx && onChange_)
         onChange_();
-    eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+    // Periodic RAPL-window evaluation for the whole run.
+    eq_.scheduleInChecked(cfg_.evalInterval, [this] { evaluate(); });
 }
 
 } // namespace ich

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "common/event_queue.hh"
@@ -147,6 +150,140 @@ TEST(EventQueue, CancelledHeadDoesNotBlockRunUntil)
     eq.deschedule(id);
     eq.runUntil(250);
     EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DescheduleOfCurrentlyDispatchingEventIsNoOp)
+{
+    EventQueue eq;
+    EventId self = EventQueue::kInvalidEvent;
+    bool later = false;
+    self = eq.schedule(100, [&] {
+        // The event is already off the queue; its handle is stale.
+        eq.deschedule(self);
+    });
+    eq.schedule(200, [&] { later = true; });
+    eq.runToCompletion();
+    EXPECT_TRUE(later);
+    EXPECT_EQ(eq.executedEvents(), 2u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, DescheduleAfterFireIsStaleEvenWhenSlotIsReused)
+{
+    EventQueue eq;
+    EventId first = eq.schedule(10, [] {});
+    ASSERT_TRUE(eq.runOne());
+    // The fired event's slot is free; the next schedule reuses it with a
+    // fresh generation, so the stale handle must not cancel it.
+    bool fired = false;
+    EventId second = eq.schedule(20, [&] { fired = true; });
+    EXPECT_NE(first, second);
+    eq.deschedule(first);
+    EXPECT_EQ(eq.size(), 1u);
+    eq.runToCompletion();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DescheduleDuringDispatchCannotKillSlotReuser)
+{
+    EventQueue eq;
+    EventId self = EventQueue::kInvalidEvent;
+    bool successor = false;
+    self = eq.schedule(100, [&] {
+        // The new event may reuse the dispatching event's slot; the
+        // stale self-handle must not touch it.
+        eq.scheduleIn(50, [&] { successor = true; });
+        eq.deschedule(self);
+    });
+    eq.runToCompletion();
+    EXPECT_TRUE(successor);
+}
+
+TEST(EventQueue, ManySameTimestampEventsOrderedAcrossPriorities)
+{
+    EventQueue eq;
+    std::vector<std::pair<int, int>> order; // (priority, insertion idx)
+    for (int i = 0; i < 100; ++i) {
+        int prio = i % 10;
+        eq.schedule(500, [&order, prio, i] { order.emplace_back(prio, i); },
+                    prio);
+    }
+    eq.runToCompletion();
+    ASSERT_EQ(order.size(), 100u);
+    for (std::size_t k = 1; k < order.size(); ++k) {
+        // Sorted by priority; equal priorities keep insertion order.
+        EXPECT_LE(order[k - 1].first, order[k].first);
+        if (order[k - 1].first == order[k].first) {
+            EXPECT_LT(order[k - 1].second, order[k].second);
+        }
+    }
+}
+
+TEST(EventQueue, PoolReusesSlotsAcrossThousandsOfScheduleCancelCycles)
+{
+    EventQueue eq;
+    std::uint64_t fired = 0;
+    for (int cycle = 0; cycle < 5000; ++cycle) {
+        EventId keep = eq.schedule(eq.now() + 5, [&] { ++fired; });
+        EventId kill = eq.schedule(eq.now() + 6, [&] { ++fired; });
+        eq.deschedule(kill);
+        EXPECT_EQ(eq.size(), 1u);
+        eq.runUntil(eq.now() + 10);
+        EXPECT_TRUE(eq.empty());
+        (void)keep;
+    }
+    EXPECT_EQ(fired, 5000u);
+    EXPECT_EQ(eq.executedEvents(), 5000u);
+    // Steady-state churn recycles a handful of slots; the pool must not
+    // have grown beyond its first slab.
+    EXPECT_LE(eq.poolCapacity(), 256u);
+}
+
+TEST(EventQueue, PoolGrowsUnderBurstThenDrainsCorrectly)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 5000; ++i)
+        ids.push_back(eq.schedule(1000 + i, [&order, i] {
+            order.push_back(i);
+        }));
+    for (int i = 1; i < 5000; i += 2)
+        eq.deschedule(ids[i]);
+    EXPECT_EQ(eq.size(), 2500u);
+    EXPECT_GE(eq.poolCapacity(), 5000u);
+    eq.runToCompletion();
+    ASSERT_EQ(order.size(), 2500u);
+    for (std::size_t k = 0; k < order.size(); ++k)
+        EXPECT_EQ(order[k], static_cast<int>(2 * k));
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ThrowingCallbackDoesNotLeakItsSlot)
+{
+    EventQueue eq;
+    eq.schedule(10, [] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(eq.runOne(), std::runtime_error);
+    EXPECT_TRUE(eq.empty());
+    bool fired = false;
+    eq.schedule(20, [&] { fired = true; });
+    eq.runToCompletion();
+    EXPECT_TRUE(fired);
+    // The thrower's slot was recycled, not leaked.
+    EXPECT_LE(eq.poolCapacity(), 256u);
+}
+
+TEST(EventQueue, HandlesStayUniqueAcrossSlotReuse)
+{
+    EventQueue eq;
+    std::vector<EventId> seen;
+    for (int i = 0; i < 1000; ++i) {
+        EventId id = eq.schedule(eq.now() + 1, [] {});
+        for (EventId old : seen)
+            EXPECT_NE(id, old);
+        seen.push_back(id);
+        eq.runOne();
+    }
 }
 
 } // namespace

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Unit tests for InlineFn: inline vs heap storage selection, move
+ * semantics, destruction of captured state, and signature support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "common/inline_fn.hh"
+
+namespace ich
+{
+namespace
+{
+
+using Fn = InlineFn<void()>;
+
+TEST(InlineFn, DefaultConstructedIsEmpty)
+{
+    Fn fn;
+    EXPECT_FALSE(fn);
+    EXPECT_FALSE(fn.isInline());
+    Fn null_fn(nullptr);
+    EXPECT_FALSE(null_fn);
+}
+
+TEST(InlineFn, SmallCaptureStoredInline)
+{
+    int hits = 0;
+    int *p = &hits;
+    auto lam = [p] { ++*p; };
+    static_assert(Fn::fits<decltype(lam)>(),
+                  "pointer capture must fit inline");
+    Fn fn(lam);
+    EXPECT_TRUE(fn);
+    EXPECT_TRUE(fn.isInline());
+    fn();
+    fn();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, OversizedCaptureFallsBackToHeapAndStillWorks)
+{
+    std::array<std::uint64_t, 32> payload{}; // 256 bytes > inline buffer
+    payload[31] = 42;
+    int out = 0;
+    auto lam = [payload, &out] {
+        out = static_cast<int>(payload[31]);
+    };
+    static_assert(!Fn::fits<decltype(lam)>(),
+                  "capture chosen to exceed the inline buffer");
+    Fn fn(lam);
+    EXPECT_TRUE(fn);
+    EXPECT_FALSE(fn.isInline());
+    fn();
+    EXPECT_EQ(out, 42);
+}
+
+TEST(InlineFn, DestroysCapturedStateOnResetAndDestruction)
+{
+    auto token = std::make_shared<int>(7);
+    {
+        Fn fn([token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+        fn.reset();
+        EXPECT_EQ(token.use_count(), 1);
+    }
+    {
+        Fn fn([token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFn, MoveTransfersCallableAndEmptiesSource)
+{
+    auto token = std::make_shared<int>(0);
+    Fn a([token] { ++*token; });
+    Fn b(std::move(a));
+    EXPECT_FALSE(a); // NOLINT(bugprone-use-after-move): probing moved-from
+    EXPECT_TRUE(b);
+    b();
+    EXPECT_EQ(*token, 1);
+    // Move does not duplicate the capture.
+    EXPECT_EQ(token.use_count(), 2);
+
+    Fn c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(*token, 2);
+    c.reset();
+    EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFn, MoveAssignmentDestroysPreviousCallable)
+{
+    auto old_token = std::make_shared<int>(0);
+    auto new_token = std::make_shared<int>(0);
+    Fn fn([old_token] { ++*old_token; });
+    fn = Fn([new_token] { ++*new_token; });
+    EXPECT_EQ(old_token.use_count(), 1);
+    fn();
+    EXPECT_EQ(*new_token, 1);
+    EXPECT_EQ(*old_token, 0);
+}
+
+TEST(InlineFn, WrapsCopyableLvalueCallables)
+{
+    int calls = 0;
+    std::function<void()> src = [&calls] { ++calls; };
+    Fn fn(src); // copies; src stays usable
+    fn();
+    src();
+    EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFn, SupportsArgumentsAndReturnValues)
+{
+    InlineFn<int(int, int)> add([](int a, int b) { return a + b; });
+    EXPECT_TRUE(add.isInline());
+    EXPECT_EQ(add(2, 3), 5);
+
+    int state = 10;
+    InlineFn<int(int), 16> scaled([&state](int x) { return state * x; });
+    EXPECT_EQ(scaled(4), 40);
+}
+
+TEST(InlineFn, FitsRespectsConfiguredCapacity)
+{
+    struct Big {
+        char data[24] = {};
+        void operator()() {}
+    };
+    static_assert(InlineFn<void(), 24>::fits<Big>(), "24B fits in 24B");
+    static_assert(!InlineFn<void(), 16>::fits<Big>(), "24B exceeds 16B");
+    InlineFn<void(), 16> fn{Big{}};
+    EXPECT_FALSE(fn.isInline());
+    fn();
+}
+
+} // namespace
+} // namespace ich
