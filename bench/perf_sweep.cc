@@ -1,42 +1,90 @@
 /**
  * @file
- * End-to-end sweep-throughput benchmark (scenario "BENCH_sweep", so
- * `--json --out DIR` writes DIR/BENCH_sweep.json).
+ * End-to-end sweep-throughput benchmarks.
  *
- * Each outer point runs one complete src/exp sweep — a thread-channel
- * BER grid with real Simulation trials — on an inner SweepRunner pinned
- * to N workers, and reports points/sec and trials/sec. The jobs axis
- * shows how the worker pool scales now that the event kernel, not the
- * allocator, is the bottleneck.
+ * Two scenarios (each writes `<name>.json` under `--json --out DIR`):
  *
- * Inner trial count scales down via ICH_PERF_SWEEP_TRIALS for CI smoke
- * runs. The outer runner is forced to 1 worker: wall-clock metrics must
- * not contend (the inner pool is what is being measured).
+ *  - BENCH_sweep: one complete src/exp sweep — a thread-channel BER
+ *    grid with real Simulation trials — per outer point, on an inner
+ *    SweepRunner pinned to N workers; reports points/sec and
+ *    trials/sec. The jobs axis shows how the worker pool scales now
+ *    that the event kernel, not the allocator, is the bottleneck.
+ *
+ *  - BENCH_snapshot: the warm-state-forking benchmark. Each trial runs
+ *    the same warmup-heavy inner sweep twice — cold (every trial
+ *    re-simulates PDN settle + guardband ramp) and warm (one warmup per
+ *    unique config, snapshotted via src/state and forked per trial) —
+ *    verifies the two reports are byte-identical, and reports
+ *    points/sec for both plus fork_speedup = warm/cold.
+ *
+ * Extra flag (on top of the standard sweep CLI):
+ *
+ *   --grid small|large   grid preset; `large` widens the jobs axis and
+ *                        the inner grids for scaling studies
+ *                        (ROADMAP.md records the measured numbers)
+ *
+ * Inner workloads scale down via ICH_PERF_SWEEP_TRIALS,
+ * ICH_PERF_SNAP_TRIALS and ICH_PERF_SNAP_BURSTS for CI smoke runs. The
+ * outer runner is forced to 1 worker: wall-clock metrics must not
+ * contend (the inner pool is what is being measured).
  */
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "exp/exp.hh"
+#include "state/state.hh"
 
 using namespace ich;
 
 namespace
 {
 
+struct GridOptions {
+    std::vector<double> jobsAxis;
+    std::vector<double> noiseAxis;
+    std::vector<double> payloadAxis;
+    std::vector<double> probeAxis;
+};
+
+GridOptions
+gridFor(const std::string &name)
+{
+    GridOptions g;
+    if (name == "small") {
+        g.jobsAxis = {1.0, 2.0, 4.0};
+        g.noiseAxis = {0.0, 1000.0, 5000.0};
+        g.payloadAxis = {16.0, 32.0};
+        g.probeAxis = {300.0, 600.0, 900.0};
+    } else if (name == "large") {
+        g.jobsAxis = {1.0, 2.0, 4.0, 8.0};
+        g.noiseAxis = {0.0, 500.0, 1000.0, 5000.0, 10000.0};
+        g.payloadAxis = {16.0, 32.0, 64.0};
+        g.probeAxis = {200.0, 400.0, 600.0, 800.0, 1000.0, 1200.0};
+    } else {
+        throw std::invalid_argument("--grid: expected 'small' or "
+                                    "'large', got '" + name + "'");
+    }
+    return g;
+}
+
 /** The measured workload: a small but real covert-channel sweep. */
 exp::ScenarioSpec
-innerSpec(int trials, std::uint64_t seed)
+innerSpec(const GridOptions &grid, int trials, std::uint64_t seed)
 {
     exp::ScenarioSpec inner;
     inner.name = "inner-ber-grid";
     inner.description = "thread-channel BER vs noise (timing payload)";
     inner.axes = {
-        exp::axis("noise_events_per_s", {0.0, 1000.0, 5000.0}),
-        exp::axis("payload_bits", {16.0, 32.0}),
+        exp::axis("noise_events_per_s", grid.noiseAxis),
+        exp::axis("payload_bits", grid.payloadAxis),
     };
     inner.trials = trials;
     inner.baseSeed = seed;
@@ -58,39 +106,167 @@ innerSpec(int trials, std::uint64_t seed)
     return inner;
 }
 
+// --------------------------------------------------- BENCH_snapshot
+
+constexpr std::uint64_t kWarmSeed = 0x5EED0u;
+
+/**
+ * The warmup every trial of the snapshot benchmark depends on: PHI
+ * burst cycles across both cores (guardband ramps, SVID queueing,
+ * throttling, decay) followed by PDN settle. Deliberately the dominant
+ * cost of a trial — exactly the work warm forking amortizes.
+ */
+std::unique_ptr<Simulation>
+warmSimulation(int bursts)
+{
+    auto sim = std::make_unique<Simulation>(
+        bench::pinned(presets::cannonLake(), 1.4), kWarmSeed);
+    for (int c = 0; c < sim->chip().coreCount(); ++c) {
+        Program p;
+        for (int b = 0; b < bursts; ++b) {
+            p.loop(InstClass::k256Heavy, 400, 100);
+            p.idle(fromMicroseconds(700)); // let the hysteresis decay
+            p.loop(InstClass::k512Heavy, 200, 100);
+            p.idle(fromMicroseconds(700));
+        }
+        HwThread &thr = sim->chip().core(c).thread(0);
+        thr.setProgram(std::move(p));
+        thr.start();
+    }
+    sim->run(fromSeconds(10.0));
+    state::quiesce(*sim);
+    return sim;
+}
+
+/** Warmup-heavy inner sweep; cold when @p warm_fork is off. */
+exp::ScenarioSpec
+snapshotInnerSpec(const GridOptions &grid, bool warm_fork, int trials,
+                  int bursts, std::uint64_t seed)
+{
+    exp::ScenarioSpec inner;
+    inner.name = warm_fork ? "inner-warm-fork" : "inner-cold";
+    inner.description = "throttle-period probe after a warmed chip";
+    inner.axes = {exp::axis("probe_iters", grid.probeAxis)};
+    inner.trials = trials;
+    inner.baseSeed = seed;
+    inner.run = [bursts](const exp::TrialContext &ctx) {
+        std::unique_ptr<Simulation> sim =
+            ctx.warmSnapshot ? state::restore(*ctx.warmSnapshot)
+                             : warmSimulation(bursts);
+        sim->rng().seed(ctx.seed);
+        HwThread &thr = sim->chip().core(0).thread(0);
+        Program p;
+        p.mark(0);
+        p.loop(InstClass::k256Heavy,
+               static_cast<std::uint64_t>(ctx.point.get("probe_iters")),
+               100);
+        p.mark(1);
+        thr.setProgram(std::move(p));
+        thr.start();
+        sim->run(fromSeconds(10.0));
+        const auto &recs = thr.records();
+        exp::MetricMap m;
+        m["probe_us"] =
+            toMicroseconds(recs.at(1).time - recs.at(0).time);
+        m["volts"] = sim->chip().vccVolts();
+        return m;
+    };
+    if (warm_fork) {
+        inner.warmup = [bursts](const exp::ParamPoint &) {
+            return state::snapshot(*warmSimulation(bursts));
+        };
+        // Warmup is probe-independent: one snapshot serves the grid.
+        inner.warmupKey = [](const exp::ParamPoint &) {
+            return std::string("shared");
+        };
+    }
+    return inner;
+}
+
 exp::ScenarioRegistry
-buildScenarios()
+buildScenarios(const GridOptions &grid)
 {
     const int inner_trials = static_cast<int>(
         bench::envCount("ICH_PERF_SWEEP_TRIALS", 2));
+    const int snap_trials = static_cast<int>(
+        bench::envCount("ICH_PERF_SNAP_TRIALS", 2));
+    const int snap_bursts = static_cast<int>(
+        bench::envCount("ICH_PERF_SNAP_BURSTS", 96));
 
     exp::ScenarioRegistry reg;
-    exp::ScenarioSpec spec;
-    spec.name = "BENCH_sweep";
-    spec.description = "src/exp sweep throughput (points/sec) vs inner "
-                       "worker count";
-    spec.axes = {exp::axis("jobs", {1.0, 2.0, 4.0})};
-    spec.trials = 2;
-    spec.baseSeed = 7;
-    spec.run = [=](const exp::TrialContext &ctx) {
-        exp::RunnerOptions opts;
-        opts.jobs = ctx.point.getInt("jobs");
-        exp::SweepRunner runner(opts);
-        exp::ScenarioSpec inner = innerSpec(inner_trials, ctx.seed);
+    {
+        exp::ScenarioSpec spec;
+        spec.name = "BENCH_sweep";
+        spec.description = "src/exp sweep throughput (points/sec) vs "
+                           "inner worker count";
+        spec.axes = {exp::axis("jobs", grid.jobsAxis)};
+        spec.trials = 2;
+        spec.baseSeed = 7;
+        spec.run = [&grid, inner_trials](const exp::TrialContext &ctx) {
+            exp::RunnerOptions opts;
+            opts.jobs = ctx.point.getInt("jobs");
+            exp::SweepRunner runner(opts);
+            exp::ScenarioSpec inner =
+                innerSpec(grid, inner_trials, ctx.seed);
 
-        auto t0 = std::chrono::steady_clock::now();
-        exp::SweepResult r = runner.run(inner);
-        double dt = bench::secondsSince(t0);
+            auto t0 = std::chrono::steady_clock::now();
+            exp::SweepResult r = runner.run(inner);
+            double dt = bench::secondsSince(t0);
 
-        exp::MetricMap m;
-        m["points_per_sec"] = static_cast<double>(r.points.size()) / dt;
-        m["trials_per_sec"] = static_cast<double>(r.trials.size()) / dt;
-        m["sweep_wall_ms"] = dt * 1e3;
-        // Sanity tie-in so a broken inner sweep is visible in the JSON.
-        m["inner_trials"] = static_cast<double>(r.trials.size());
-        return m;
-    };
-    reg.add(std::move(spec));
+            exp::MetricMap m;
+            m["points_per_sec"] =
+                static_cast<double>(r.points.size()) / dt;
+            m["trials_per_sec"] =
+                static_cast<double>(r.trials.size()) / dt;
+            m["sweep_wall_ms"] = dt * 1e3;
+            // Sanity tie-in so a broken inner sweep shows in the JSON.
+            m["inner_trials"] = static_cast<double>(r.trials.size());
+            return m;
+        };
+        reg.add(std::move(spec));
+    }
+    {
+        exp::ScenarioSpec spec;
+        spec.name = "BENCH_snapshot";
+        spec.description = "warm-state forking: points/sec forked from "
+                           "a snapshot vs re-simulated warmup";
+        spec.axes = {exp::axis("jobs", grid.jobsAxis)};
+        spec.trials = 2;
+        spec.baseSeed = 11;
+        spec.run = [&grid, snap_trials,
+                    snap_bursts](const exp::TrialContext &ctx) {
+            exp::RunnerOptions opts;
+            opts.jobs = ctx.point.getInt("jobs");
+            exp::SweepRunner runner(opts);
+
+            exp::ScenarioSpec cold = snapshotInnerSpec(
+                grid, false, snap_trials, snap_bursts, ctx.seed);
+            exp::ScenarioSpec warm = snapshotInnerSpec(
+                grid, true, snap_trials, snap_bursts, ctx.seed);
+
+            auto t0 = std::chrono::steady_clock::now();
+            exp::SweepResult rc = runner.run(cold);
+            double cold_dt = bench::secondsSince(t0);
+            t0 = std::chrono::steady_clock::now();
+            exp::SweepResult rw = runner.run(warm);
+            double warm_dt = bench::secondsSince(t0);
+
+            // The fork is only a win if it is *exactly* the same sweep.
+            rc.scenario = rw.scenario = "inner";
+            if (exp::jsonReport(rc, true) != exp::jsonReport(rw, true))
+                throw std::runtime_error(
+                    "warm-forked sweep diverged from cold sweep");
+
+            double n_points = static_cast<double>(rw.points.size());
+            exp::MetricMap m;
+            m["points_per_sec"] = n_points / warm_dt;
+            m["cold_points_per_sec"] = n_points / cold_dt;
+            m["fork_speedup"] = cold_dt / warm_dt;
+            m["inner_trials"] = static_cast<double>(rw.trials.size());
+            return m;
+        };
+        reg.add(std::move(spec));
+    }
     return reg;
 }
 
@@ -99,20 +275,56 @@ buildScenarios()
 int
 main(int argc, char **argv)
 {
-    exp::ScenarioRegistry reg = buildScenarios();
+    // Strip the bench-specific --grid flag before the standard CLI.
+    std::string grid_name = "small";
+    std::vector<const char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--grid") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: --grid: missing value "
+                                     "(small|large)\n");
+                return 2;
+            }
+            grid_name = argv[++i];
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    GridOptions grid;
+    try {
+        grid = gridFor(grid_name);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+
+    exp::ScenarioRegistry reg = buildScenarios(grid);
     exp::CliOptions cli;
-    int rc = exp::harnessSetup(argc, argv, reg, cli);
+    int rc = exp::harnessSetup(static_cast<int>(args.size()),
+                               args.data(), reg, cli);
     if (rc >= 0)
         return rc;
     // The inner pool is the subject of measurement; keep the outer serial.
     cli.jobs = 1;
 
-    bench::banner("BENCH_sweep", "end-to-end src/exp sweep throughput");
-    exp::SweepResult res = exp::runAndReport(*reg.find("BENCH_sweep"), cli);
-
-    exp::MetricSummary pps = exp::rollup(res, "points_per_sec");
-    std::printf("\nsweep throughput: mean %.2f points/s across jobs "
-                "settings (max %.2f)\n",
-                pps.mean, pps.max);
+    bench::banner("BENCH_sweep", "end-to-end src/exp sweep throughput (" +
+                                     grid_name + " grid)");
+    if (exp::wantScenario(cli, "BENCH_sweep")) {
+        exp::SweepResult res =
+            exp::runAndReport(*reg.find("BENCH_sweep"), cli);
+        exp::MetricSummary pps = exp::rollup(res, "points_per_sec");
+        std::printf("\nsweep throughput: mean %.2f points/s across jobs "
+                    "settings (max %.2f)\n\n",
+                    pps.mean, pps.max);
+    }
+    if (exp::wantScenario(cli, "BENCH_snapshot")) {
+        exp::SweepResult res =
+            exp::runAndReport(*reg.find("BENCH_snapshot"), cli);
+        exp::MetricSummary speedup = exp::rollup(res, "fork_speedup");
+        exp::MetricSummary warm = exp::rollup(res, "points_per_sec");
+        std::printf("\nwarm-state forking: mean %.2fx over re-warming "
+                    "(max %.2fx), %.2f points/s warm\n",
+                    speedup.mean, speedup.max, warm.mean);
+    }
     return 0;
 }

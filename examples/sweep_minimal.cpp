@@ -2,7 +2,9 @@
  * @file
  * Minimal experiment-orchestration example: declare a two-axis sweep
  * over the thread channel, fan it out on the worker pool, and print /
- * serialize the aggregated results.
+ * serialize the aggregated results — then run the same sweep again in
+ * resume mode to show that completed points are skipped (the `--resume`
+ * flag of the bench harnesses drives exactly this machinery).
  *
  * Build & run:
  *   cmake -B build && cmake --build build -j
@@ -52,9 +54,13 @@ main()
     };
 
     // 2. Run it on the pool. Trials are independent simulations, so
-    //    any --jobs value produces identical aggregates.
+    //    any --jobs value produces identical aggregates. resumeDir
+    //    makes the sweep resumable: after every completed grid point
+    //    the runner atomically checkpoints a manifest into the results
+    //    directory (this is what `--resume` enables on the harnesses).
     exp::RunnerOptions opts;
     opts.jobs = 2;
+    opts.resumeDir = "results";
     exp::SweepResult result = exp::SweepRunner(opts).run(spec);
 
     // 3. Report: aligned text for humans, JSON/CSV for machines.
@@ -65,5 +71,13 @@ main()
     exp::ReportPaths paths = exp::writeReports(result, "results");
     std::printf("wrote %s and %s\n", paths.json.c_str(),
                 paths.csv.c_str());
+
+    // 4. Resume: running again finds every point in the manifest and
+    //    re-runs nothing — an interrupted sweep restarts the same way,
+    //    re-running only the points the manifest does not yet record.
+    exp::SweepResult resumed = exp::SweepRunner(opts).run(spec);
+    std::printf("resumed run: %zu of %zu points restored from %s\n",
+                resumed.resumedPoints, resumed.points.size(),
+                exp::manifestPath("results", spec.name).c_str());
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -81,6 +83,22 @@ double
 Chip::tjCelsius()
 {
     return thermal_.update(eq_.now(), powerWatts());
+}
+
+void
+Chip::saveState(state::SaveContext &ctx) const
+{
+    thermal_.saveState(ctx);
+    for (const auto &core : cores_)
+        core->saveState(ctx);
+}
+
+void
+Chip::restoreState(state::SectionReader &r, state::RestoreContext &ctx)
+{
+    thermal_.restoreState(r);
+    for (auto &core : cores_)
+        core->restoreState(r, ctx);
 }
 
 } // namespace ich

@@ -19,6 +19,7 @@
 #include "cpu/chip_api.hh"
 #include "cpu/core.hh"
 #include "pmu/central_pmu.hh"
+#include "state/fwd.hh"
 #include "thermal/thermal_model.hh"
 
 namespace ich
@@ -84,6 +85,10 @@ class Chip : public ChipApi, public PmuHooks
     /** Junction temperature, advancing the thermal state to now. */
     double tjCelsius();
     ///@}
+
+    /** Snapshot hooks (thermal node + cores; PMU has its own section). */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     EventQueue &eq_;

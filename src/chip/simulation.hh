@@ -25,8 +25,10 @@ class Simulation
     explicit Simulation(const ChipConfig &cfg, std::uint64_t seed = 1);
 
     EventQueue &eq() { return eq_; }
+    const EventQueue &eq() const { return eq_; }
     Rng &rng() { return rng_; }
     Chip &chip() { return *chip_; }
+    const Chip &chip() const { return *chip_; }
 
     /**
      * Run until all installed thread programs complete or @p horizon is

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -144,6 +146,48 @@ EventQueue::runToCompletion(Time horizon)
     while (pruneHead() && heap_.front().when <= horizon)
         runOne();
     return now_;
+}
+
+bool
+EventQueue::pendingInfo(EventId id, Time &when, std::int32_t &priority,
+                        std::uint64_t &seq) const
+{
+    std::uint64_t slotPlus1 = id >> 32;
+    if (slotPlus1 == 0 || slotPlus1 > slabs_.size() * kSlabSize)
+        return false;
+    std::uint32_t slot = static_cast<std::uint32_t>(slotPlus1 - 1);
+    const Node &n = slabs_[slot / kSlabSize][slot % kSlabSize];
+    if (!n.live || n.gen != static_cast<std::uint32_t>(id))
+        return false;
+    for (const HeapEntry &e : heap_) {
+        if (e.slot == slot) {
+            when = e.when;
+            priority = e.priority;
+            seq = e.seq;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+EventQueue::saveState(state::SaveContext &ctx) const
+{
+    ctx.w().putU64(now_);
+    ctx.w().putU64(nextSeq_);
+    ctx.w().putU64(executed_);
+}
+
+void
+EventQueue::restoreState(state::SectionReader &r)
+{
+    // The queue may still hold events scheduled during construction of
+    // the fresh simulation (e.g. the PowerLimiter's first evaluation);
+    // their owners deschedule and re-arm them in their own
+    // restoreState(), so only the counters restore here.
+    now_ = r.getU64();
+    nextSeq_ = r.getU64();
+    executed_ = r.getU64();
 }
 
 void

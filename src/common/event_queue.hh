@@ -31,6 +31,7 @@
 
 #include "common/inline_fn.hh"
 #include "common/types.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -148,6 +149,22 @@ class EventQueue
 
     /** Slots currently held by the pool (capacity diagnostic). */
     std::size_t poolCapacity() const { return slabs_.size() * kSlabSize; }
+
+    /**
+     * Look up a pending event's schedule parameters (used by component
+     * saveState() to record re-armable events). Returns false for
+     * invalid/stale/fired handles. O(heap size) — save path only.
+     */
+    bool pendingInfo(EventId id, Time &when, std::int32_t &priority,
+                     std::uint64_t &seq) const;
+
+    /**
+     * Snapshot hooks: only the clock, insertion-sequence counter and
+     * executed count serialize — pending events are owned and re-armed
+     * by their components (see state/snapshot.hh).
+     */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r);
 
   private:
     static constexpr std::uint32_t kSlabSize = 256;

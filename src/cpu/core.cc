@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "isa/inst_class.hh"
+#include "state/snapshot.hh"
 
 namespace ich
 {
@@ -61,6 +62,24 @@ Core::cdynActiveNf() const
             max_delta = std::max(max_delta, traits(*cls).deltaCdynNf);
     }
     return cfg_.cdynBaseNf + max_delta;
+}
+
+void
+Core::saveState(state::SaveContext &ctx) const
+{
+    throttle_.saveState(ctx);
+    avxGate_.saveState(ctx);
+    for (const auto &t : threads_)
+        t->saveState(ctx);
+}
+
+void
+Core::restoreState(state::SectionReader &r, state::RestoreContext &ctx)
+{
+    throttle_.restoreState(r);
+    avxGate_.restoreState(r, ctx);
+    for (auto &t : threads_)
+        t->restoreState(r, ctx);
 }
 
 } // namespace ich

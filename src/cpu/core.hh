@@ -16,6 +16,7 @@
 #include "cpu/thread.hh"
 #include "cpu/throttle_unit.hh"
 #include "pdn/power_gate.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -72,6 +73,10 @@ class Core
     int activeGbLevelNow() const;
 
     double leakageAmps() const { return cfg_.leakageAmps; }
+
+    /** Snapshot hooks (throttle unit, AVX gate, threads). */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     ChipApi &chip_;

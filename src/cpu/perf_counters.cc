@@ -1,4 +1,24 @@
 #include "cpu/perf_counters.hh"
 
-// Header-only accrual arithmetic; translation unit kept for ODR symmetry
-// with the rest of the cpu module.
+#include "state/snapshot.hh"
+
+namespace ich
+{
+
+void
+PerfCounters::saveState(state::SaveContext &ctx) const
+{
+    ctx.w().putF64(clkUnhalted_);
+    ctx.w().putF64(instRetired_);
+    ctx.w().putF64(idqNotDelivered_);
+}
+
+void
+PerfCounters::restoreState(state::SectionReader &r)
+{
+    clkUnhalted_ = r.getF64();
+    instRetired_ = r.getF64();
+    idqNotDelivered_ = r.getF64();
+}
+
+} // namespace ich

@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "state/fwd.hh"
+
 namespace ich
 {
 
@@ -77,6 +79,10 @@ class PerfCounters
     {
         clkUnhalted_ = instRetired_ = idqNotDelivered_ = 0.0;
     }
+
+    /** Snapshot hooks (fractional accumulators, bit-exact). */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r);
 
   private:
     double clkUnhalted_ = 0.0;

@@ -23,6 +23,7 @@
 #include "cpu/chip_api.hh"
 #include "cpu/perf_counters.hh"
 #include "isa/program.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -85,6 +86,17 @@ class HwThread
 
     /** Completed iterations of the current loop step (tests). */
     double loopIterationsDone() const { return itersDone_; }
+
+    /**
+     * Snapshot hooks. Programs contain closures (CallStep) and so are
+     * never serialized: a thread must be idle (done or not started) at
+     * the quiesce point; saveState() throws otherwise. Counters,
+     * records and accrual marks round-trip bit-exactly, and the
+     * restored thread accepts a fresh setProgram()/start() exactly like
+     * the original would.
+     */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     Core &core_;

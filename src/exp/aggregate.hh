@@ -66,6 +66,8 @@ struct SweepResult {
      *  reports stay byte-identical across worker counts / machines. */
     int jobs = 1;
     double wallSeconds = 0.0;
+    /** Points prefilled from a resume manifest instead of re-run. */
+    std::size_t resumedPoints = 0;
 
     /** Aggregate of the first point (single-point sweep convenience). */
     const MetricSummary &metric(const std::string &name) const;

@@ -70,6 +70,8 @@ parseCli(int argc, const char *const *argv)
             if (cli.outDir.empty())
                 throw std::invalid_argument("--out: empty directory");
             saw_out = true;
+        } else if (arg == "--resume") {
+            cli.resume = true;
         } else if (arg == "--list") {
             cli.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -103,6 +105,10 @@ cliUsage(const std::string &prog)
            "  --csv           write <scenario>.csv to the results dir\n"
            "  --out DIR       results directory (default: results; "
            "implies --json --csv)\n"
+           "  --resume        checkpoint completed points into the "
+           "results dir\n"
+           "                  and skip points an interrupted run "
+           "finished\n"
            "  --list          list scenarios and exit\n"
            "  --help, -h      this text\n"
            "With no SCENARIO arguments every scenario runs.\n";
@@ -115,6 +121,8 @@ toRunnerOptions(const CliOptions &cli)
     opts.jobs = cli.jobs;
     opts.seed = cli.seed;
     opts.trials = cli.trials;
+    if (cli.resume)
+        opts.resumeDir = cli.outDir;
     return opts;
 }
 

@@ -10,6 +10,9 @@
  *   --json        write <scenario>.json into the results directory
  *   --csv         write <scenario>.csv into the results directory
  *   --out DIR     results directory (default "results"; implies files)
+ *   --resume      resumable sweep: checkpoint completed points (and
+ *                 warm snapshots) into the results directory, and skip
+ *                 points a previous interrupted run already finished
  *   --list        list available scenarios and exit
  *   --help        usage
  *   NAME...       positional: run only the named scenarios
@@ -37,6 +40,7 @@ struct CliOptions {
     bool json = false;
     bool csv = false;
     std::string outDir = "results";
+    bool resume = false;
     bool list = false;
     bool help = false;
     std::vector<std::string> scenarios; ///< empty: run everything

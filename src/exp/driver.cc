@@ -60,6 +60,10 @@ runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
 
     std::printf("%s: %s\n", result.scenario.c_str(),
                 result.description.c_str());
+    if (result.resumedPoints > 0)
+        std::printf("(resumed: %zu of %zu points restored from the "
+                    "manifest)\n",
+                    result.resumedPoints, result.points.size());
     std::printf("%s", textReport(result).c_str());
     if (cli.json || cli.csv) {
         // Report-file failures are fatal for a CLI harness, but must

@@ -6,8 +6,10 @@
  *  - scenario.hh   declarative ScenarioSpec / parameter axes / registry
  *  - runner.hh     SweepRunner: worker-pool fan-out, deterministic seeds
  *  - aggregate.hh  per-point metric summaries + whole-sweep rollups
+ *  - resume.hh     completed-points manifest + warm-snapshot cache
  *  - report.hh     text / JSON / CSV reporters
- *  - cli.hh        shared harness flags (--jobs, --seed, --json, --out)
+ *  - cli.hh        shared harness flags (--jobs, --seed, --json, --out,
+ *                  --resume)
  *  - driver.hh     run-and-report glue for the bench executables
  */
 
@@ -19,6 +21,7 @@
 #include "exp/driver.hh"
 #include "exp/json.hh"
 #include "exp/report.hh"
+#include "exp/resume.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
 

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Resumable-sweep persistence: the completed-points manifest and the
+ * on-disk warm-snapshot cache the SweepRunner writes into the result
+ * directory when resume mode is on.
+ *
+ * The manifest is a line-oriented text file recording, for every fully
+ * completed grid point, each trial's seed and metrics. Metric values
+ * are stored as raw IEEE-754 bit patterns (hex), so a resumed sweep
+ * reconstructs them bit-exactly and its aggregates/reports stay
+ * byte-identical to an uninterrupted run. A header fingerprinting the
+ * grid (scenario, seed, trials, expanded points) guards against
+ * resuming into a different sweep.
+ *
+ * Every write goes through state::atomicWriteFile (write-temp +
+ * rename), so a sweep killed mid-flush never leaves a truncated
+ * manifest behind: the previous consistent manifest survives and the
+ * restart simply redoes the last point.
+ */
+
+#ifndef ICH_EXP_RESUME_HH
+#define ICH_EXP_RESUME_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hh"
+#include "exp/scenario.hh"
+
+namespace ich
+{
+namespace exp
+{
+
+/** Everything a restart needs to trust and reuse prior work. */
+struct ResumeManifest {
+    std::string scenario;
+    std::uint64_t baseSeed = 0;
+    int trialsPerPoint = 0;
+    std::uint64_t numPoints = 0;
+    std::uint64_t gridFp = 0;
+    /** Completed points: point index -> its trials in trial order. */
+    std::map<std::size_t, std::vector<TrialRecord>> points;
+
+    /** True when @p other describes the same sweep. */
+    bool matches(const ResumeManifest &other) const;
+};
+
+/** FNV-1a fingerprint of the expanded grid (axes, labels, values). */
+std::uint64_t gridFingerprint(const std::vector<ParamPoint> &points);
+
+/** `<dir>/<scenario>.manifest` */
+std::string manifestPath(const std::string &dir,
+                         const std::string &scenario);
+
+/** `<dir>/<scenario>.warm-<fnv64(key)>.snap` */
+std::string warmSnapshotPath(const std::string &dir,
+                             const std::string &scenario,
+                             const std::string &key);
+
+/**
+ * Load a manifest. Returns false when the file is missing or malformed
+ * (a malformed manifest is treated as absent: the sweep restarts from
+ * scratch rather than failing — resume is an optimization, never a
+ * correctness dependency).
+ */
+bool loadManifest(const std::string &path, ResumeManifest &out);
+
+/** Atomically persist @p m (creates the directory when needed). */
+void writeManifest(const std::string &path, const ResumeManifest &m);
+
+} // namespace exp
+} // namespace ich
+
+#endif // ICH_EXP_RESUME_HH

@@ -2,14 +2,144 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
+
+#include "exp/resume.hh"
+#include "state/archive.hh"
 
 namespace ich
 {
 namespace exp
 {
+
+namespace
+{
+
+/**
+ * Warm-state snapshot table: one buffer per unique warmup key, shared
+ * by every trial of the points mapping to that key.
+ */
+struct WarmTable {
+    std::vector<std::string> keys; ///< first-seen order
+    std::vector<state::Buffer> buffers;
+    std::vector<std::size_t> pointToKey; ///< point index -> keys index
+};
+
+/**
+ * Group points by warmup key and materialize each key's snapshot,
+ * skipping keys whose every point is already complete (@p point_done).
+ * Cached `.snap` files are reused only when @p trust_cache — i.e. the
+ * result directory's manifest matched this sweep, the sole witness
+ * that the cache was produced by the same warmup; otherwise they are
+ * recomputed and overwritten. Computation fans out on @p jobs workers:
+ * warmups are independent by the determinism contract.
+ */
+WarmTable
+buildWarmTable(const ScenarioSpec &spec,
+               const std::vector<ParamPoint> &points, int jobs,
+               const std::string &resume_dir, bool trust_cache,
+               const std::vector<char> &point_done)
+{
+    WarmTable table;
+    table.pointToKey.resize(points.size());
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::string key = spec.warmupKey ? spec.warmupKey(points[i])
+                                         : points[i].toString();
+        auto it = index.find(key);
+        if (it == index.end()) {
+            it = index.emplace(key, table.keys.size()).first;
+            table.keys.push_back(std::move(key));
+        }
+        table.pointToKey[i] = it->second;
+    }
+    table.buffers.resize(table.keys.size());
+
+    // Representative point per key (first point mapping to it), and
+    // whether any of the key's points still has trials to run — fully
+    // resumed keys never warm.
+    std::vector<std::size_t> rep(table.keys.size(), points.size());
+    std::vector<char> needed(table.keys.size(), 0);
+    for (std::size_t i = points.size(); i-- > 0;) {
+        rep[table.pointToKey[i]] = i;
+        if (!point_done[i])
+            needed[table.pointToKey[i]] = 1;
+    }
+
+    std::vector<char> have(table.keys.size(), 0);
+    if (!resume_dir.empty() && trust_cache) {
+        for (std::size_t k = 0; k < table.keys.size(); ++k) {
+            if (!needed[k])
+                continue;
+            std::string path =
+                warmSnapshotPath(resume_dir, spec.name, table.keys[k]);
+            try {
+                state::Buffer cached = state::readFile(path);
+                state::ArchiveReader validate(cached); // CRC/version
+                table.buffers[k] = std::move(cached);
+                have[k] = 1;
+            } catch (const state::ArchiveError &) {
+                // Missing or corrupt cache entry: recompute below.
+            }
+        }
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::mutex error_mu;
+    std::string first_error;
+    auto worker = [&]() {
+        for (;;) {
+            std::size_t k = cursor.fetch_add(1);
+            if (k >= table.keys.size())
+                return;
+            if (have[k] || !needed[k])
+                continue;
+            try {
+                table.buffers[k] = spec.warmup(points[rep[k]]);
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (first_error.empty())
+                    first_error = e.what();
+            }
+        }
+    };
+    int n_workers = static_cast<int>(
+        std::min<std::size_t>(jobs, table.keys.size()));
+    if (n_workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (int i = 0; i < n_workers; ++i)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+    if (!first_error.empty())
+        throw std::runtime_error("scenario '" + spec.name +
+                                 "': warmup failed: " + first_error);
+
+    if (!resume_dir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(resume_dir, ec);
+        for (std::size_t k = 0; k < table.keys.size(); ++k) {
+            if (have[k] || !needed[k])
+                continue;
+            state::atomicWriteFile(
+                warmSnapshotPath(resume_dir, spec.name, table.keys[k]),
+                table.buffers[k]);
+        }
+    }
+    return table;
+}
+
+} // namespace
 
 int
 resolveJobs(int jobs)
@@ -44,12 +174,79 @@ SweepRunner::run(const ScenarioSpec &spec) const
     const std::size_t total = result.points.size() * trials_per_point;
     result.trials.resize(total);
 
-    // Work distribution: an atomic cursor over the flat global trial
-    // index. Workers write only their own pre-sized slot, so no result
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Resume: prefill points completed by a previous matching run.
+    // This happens before warmups so fully resumed warm groups are
+    // never re-simulated, and so the warm-snapshot cache is reused
+    // only when the manifest vouches for the result directory.
+    ResumeManifest manifest;
+    manifest.scenario = result.scenario;
+    manifest.baseSeed = result.baseSeed;
+    manifest.trialsPerPoint = result.trialsPerPoint;
+    manifest.numPoints = result.points.size();
+    manifest.gridFp = gridFingerprint(result.points);
+    std::vector<char> point_done(result.points.size(), 0);
+    const bool resumable = !opts_.resumeDir.empty();
+    bool manifest_matched = false;
+    std::string manifest_path;
+    if (resumable) {
+        manifest_path = manifestPath(opts_.resumeDir, result.scenario);
+        ResumeManifest prior;
+        if (loadManifest(manifest_path, prior)) {
+            if (prior.matches(manifest)) {
+                manifest_matched = true;
+                for (auto &kv : prior.points) {
+                    for (std::size_t t = 0; t < trials_per_point; ++t)
+                        result.trials[kv.first * trials_per_point + t] =
+                            kv.second[t];
+                    point_done[kv.first] = 1;
+                    manifest.points[kv.first] = std::move(kv.second);
+                }
+                result.resumedPoints = manifest.points.size();
+            } else {
+                std::fprintf(stderr,
+                             "warning: %s does not match this sweep "
+                             "(grid/seed/trials changed) — restarting "
+                             "from scratch\n",
+                             manifest_path.c_str());
+            }
+        }
+    }
+
+    // Pending work: the flat trial indices of not-yet-complete points.
+    std::vector<std::size_t> pending;
+    pending.reserve(total);
+    for (std::size_t idx = 0; idx < total; ++idx)
+        if (!point_done[idx / trials_per_point])
+            pending.push_back(idx);
+
+    // Warm-state forking: one warmup per unique key with pending work.
+    WarmTable warm;
+    if (spec.warmup && !pending.empty())
+        warm = buildWarmTable(spec, result.points, result.jobs,
+                              opts_.resumeDir, manifest_matched,
+                              point_done);
+
+    // Per-point countdown driving the manifest flush; acq_rel on the
+    // final decrement makes every sibling trial's record visible to
+    // the flushing worker.
+    std::unique_ptr<std::atomic<int>[]> remaining;
+    std::mutex manifest_mu;
+    std::atomic<bool> manifest_ok{true};
+    if (resumable) {
+        remaining.reset(new std::atomic<int>[result.points.size()]);
+        for (std::size_t p = 0; p < result.points.size(); ++p)
+            remaining[p].store(static_cast<int>(trials_per_point),
+                               std::memory_order_relaxed);
+    }
+
+    // Work distribution: an atomic cursor over the pending-trial list.
+    // Workers write only their own pre-sized slot, so no result
     // ordering depends on scheduling.
     std::atomic<std::size_t> cursor{0};
     std::mutex progress_mu;
-    std::size_t completed = 0; // guarded by progress_mu
+    std::size_t completed = total - pending.size(); // under progress_mu
     std::mutex error_mu;
     std::size_t first_error_idx = total;
     std::string first_error_msg;
@@ -64,29 +261,63 @@ SweepRunner::run(const ScenarioSpec &spec) const
         }
         // The sweep is doomed; drain the queue so in-flight trials are
         // the only remaining work instead of running the whole grid.
-        cursor.store(total);
+        cursor.store(pending.size());
     };
 
     auto worker = [&]() {
         for (;;) {
-            std::size_t idx = cursor.fetch_add(1);
-            if (idx >= total)
+            std::size_t slot = cursor.fetch_add(1);
+            if (slot >= pending.size())
                 return;
+            std::size_t idx = pending[slot];
             std::size_t point_idx = idx / trials_per_point;
             TrialRecord &rec = result.trials[idx];
             rec.pointIndex = point_idx;
             rec.trial = static_cast<int>(idx % trials_per_point);
             rec.seed = deriveTrialSeed(result.baseSeed, idx);
-            TrialContext ctx{result.points[point_idx], point_idx, rec.trial,
-                             rec.seed};
+            TrialContext ctx{result.points[point_idx], point_idx,
+                             rec.trial, rec.seed,
+                             spec.warmup
+                                 ? &warm.buffers[warm.pointToKey
+                                                     [point_idx]]
+                                 : nullptr};
+            bool ok = true;
             try {
                 rec.metrics = spec.run(ctx);
             } catch (const std::exception &e) {
+                ok = false;
                 record_error(idx, e.what());
             } catch (...) {
                 // A non-std::exception escaping the worker thread would
                 // otherwise std::terminate the whole process.
+                ok = false;
                 record_error(idx, "unknown exception type");
+            }
+            if (ok && resumable && manifest_ok.load() &&
+                remaining[point_idx].fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+                // Last trial of this point: persist it. The whole-file
+                // rewrite is atomic (temp + rename), so an interrupt
+                // here costs at most this one point on restart.
+                std::lock_guard<std::mutex> lock(manifest_mu);
+                auto &recs = manifest.points[point_idx];
+                recs.assign(result.trials.begin() +
+                                point_idx * trials_per_point,
+                            result.trials.begin() +
+                                (point_idx + 1) * trials_per_point);
+                try {
+                    writeManifest(manifest_path, manifest);
+                } catch (const std::exception &e) {
+                    // Checkpointing is an optimization, never worth
+                    // the sweep (and a throw would escape the thread
+                    // and std::terminate): warn once and carry on
+                    // without resume support.
+                    if (manifest_ok.exchange(false))
+                        std::fprintf(stderr,
+                                     "warning: sweep checkpointing "
+                                     "disabled: %s\n",
+                                     e.what());
+                }
             }
             if (opts_.progress) {
                 // Count inside the lock so callbacks see a monotonic
@@ -97,9 +328,8 @@ SweepRunner::run(const ScenarioSpec &spec) const
         }
     };
 
-    auto t0 = std::chrono::steady_clock::now();
-    int n_workers =
-        static_cast<int>(std::min<std::size_t>(result.jobs, total));
+    int n_workers = static_cast<int>(
+        std::min<std::size_t>(result.jobs, pending.size()));
     if (n_workers <= 1) {
         worker();
     } else {

@@ -39,6 +39,17 @@ struct RunnerOptions {
      * under an internal mutex. Leave empty for silent runs.
      */
     std::function<void(std::size_t, std::size_t)> progress;
+    /**
+     * Resumable-sweep directory (empty: off). When set, the runner
+     * (a) skips grid points recorded as complete in
+     * `<dir>/<scenario>.manifest` from a previous matching run,
+     * (b) flushes the manifest atomically after every completed point,
+     * and (c) caches warm-state snapshots as `<scenario>.warm-*.snap`
+     * so a restart does not re-simulate warmup either. Results are
+     * byte-identical to an uninterrupted run (metrics round-trip as
+     * raw IEEE-754 bits).
+     */
+    std::string resumeDir;
 };
 
 /** Resolved worker count for @p jobs (<=0 → hardware concurrency). */
@@ -50,7 +61,8 @@ class SweepRunner
     explicit SweepRunner(RunnerOptions opts = {});
 
     /**
-     * Expand the grid, run trials on the pool, aggregate. Throws
+     * Expand the grid, compute warm-state snapshots (once per unique
+     * warmup key), run trials on the pool, aggregate. Throws
      * std::runtime_error carrying the first failing trial's message if
      * any trial threw.
      */

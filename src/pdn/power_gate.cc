@@ -1,5 +1,7 @@
 #include "pdn/power_gate.hh"
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -42,6 +44,28 @@ PowerGate::scheduleClose()
     // Rescheduled on every gated-domain touch.
     closeEvent_ = eq_.scheduleChecked(lastUse_ + cfg_.idleCloseDelay,
                                       [this] { maybeClose(); });
+}
+
+void
+PowerGate::saveState(state::SaveContext &ctx) const
+{
+    ctx.w().putBool(closed_);
+    ctx.w().putU64(lastUse_);
+    ctx.w().putU64(opens_);
+    ctx.putEvent(closeEvent_);
+}
+
+void
+PowerGate::restoreState(state::SectionReader &r,
+                        state::RestoreContext &ctx)
+{
+    closed_ = r.getBool();
+    lastUse_ = r.getU64();
+    opens_ = r.getU64();
+    ctx.getEvent(r, [this](EventQueue &eq, Time when, int priority) {
+        closeEvent_ =
+            eq.schedule(when, [this] { maybeClose(); }, priority);
+    });
 }
 
 void

@@ -17,6 +17,7 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -60,6 +61,10 @@ class PowerGate
     std::uint64_t openCount() const { return opens_; }
 
     const PowerGateConfig &config() const { return cfg_; }
+
+    /** Snapshot hooks; the idle-close timer re-arms on restore. */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     EventQueue &eq_;

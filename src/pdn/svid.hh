@@ -20,6 +20,7 @@
 #include "common/event_queue.hh"
 #include "common/types.hh"
 #include "pdn/vr.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -60,6 +61,14 @@ class Svid
 
     VoltageRegulator &vr() { return vr_; }
     const VoltageRegulator &vr() const { return vr_; }
+
+    /**
+     * Snapshot hooks. Transactions carry completion closures, so the
+     * bus must be idle at the quiesce point; saveState() throws while
+     * any transaction is queued or in flight.
+     */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     struct Txn {

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -99,6 +101,32 @@ VoltageRegulator::setTarget(double target_volts, DoneCallback on_done)
     // One event per SVID voltage transaction.
     doneEvent_ = eq_.scheduleChecked(rampEndTime_ + cfg_.settleTime,
                                      [this] { finishTransition(); });
+}
+
+void
+VoltageRegulator::saveState(state::SaveContext &ctx) const
+{
+    if (busy_)
+        throw state::ArchiveError("VoltageRegulator '" + name_ +
+                                  "': snapshot while a transition is in "
+                                  "flight — quiesce first");
+    ctx.w().putF64(target_);
+    ctx.w().putF64(rampFromVolts_);
+    ctx.w().putU64(rampStartTime_);
+    ctx.w().putU64(rampEndTime_);
+}
+
+void
+VoltageRegulator::restoreState(state::SectionReader &r,
+                               state::RestoreContext &)
+{
+    target_ = r.getF64();
+    rampFromVolts_ = r.getF64();
+    rampStartTime_ = r.getU64();
+    rampEndTime_ = r.getU64();
+    busy_ = false;
+    doneEvent_ = EventQueue::kInvalidEvent;
+    onDone_ = nullptr;
 }
 
 void

@@ -22,6 +22,7 @@
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -93,6 +94,14 @@ class VoltageRegulator
     Time transitionTime(double target_volts) const;
 
     const VrConfig &config() const { return cfg_; }
+
+    /**
+     * Snapshot hooks. The rail must be settled (not busy) at the
+     * quiesce point — the done callback is an unserializable closure
+     * owned by the SVID layer; saveState() throws while ramping.
+     */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     EventQueue &eq_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -333,27 +335,109 @@ CentralPmu::scheduleUpclock()
     Time delay = licenseCausedDownclock_
                      ? cfg_.pstate.licenseReleaseDelay
                      : cfg_.upclockDelay;
-    upclockEvent_ = eq_.scheduleIn(delay, [this] {
-        upclockEvent_ = EventQueue::kInvalidEvent;
-        if (pstateInFlight_)
-            return;
-        // Recompute; conditions may have changed while waiting.
-        double gov = governor_.requestGhz(cfg_.pstate.minGhz,
-                                          cfg_.pstate.binsGhz.back());
-        double cap = powerLimiter_->capGhz();
-        int license = licenseForGbLevel(maxLevelAllCores());
-        double desired = std::min({gov, cap,
-                                   cfg_.pstate.licenseMaxGhz[license]});
-        desired = snapDownToBin(desired, cfg_.pstate.binsGhz);
-        desired = std::min(desired,
-                           powerModel_.maxFreqGhz(activityWithLevels(),
-                                                  cfg_.limits,
-                                                  cfg_.pstate.binsGhz));
-        if (desired > freqGhz_ + kGhzEps) {
-            licenseCausedDownclock_ = false;
-            startPstateTransition(desired);
-        }
+    upclockEvent_ = eq_.scheduleIn(delay, [this] { upclockFired(); });
+}
+
+void
+CentralPmu::upclockFired()
+{
+    upclockEvent_ = EventQueue::kInvalidEvent;
+    if (pstateInFlight_)
+        return;
+    // Recompute; conditions may have changed while waiting.
+    double gov = governor_.requestGhz(cfg_.pstate.minGhz,
+                                      cfg_.pstate.binsGhz.back());
+    double cap = powerLimiter_->capGhz();
+    int license = licenseForGbLevel(maxLevelAllCores());
+    double desired = std::min({gov, cap,
+                               cfg_.pstate.licenseMaxGhz[license]});
+    desired = snapDownToBin(desired, cfg_.pstate.binsGhz);
+    desired = std::min(desired,
+                       powerModel_.maxFreqGhz(activityWithLevels(),
+                                              cfg_.limits,
+                                              cfg_.pstate.binsGhz));
+    if (desired > freqGhz_ + kGhzEps) {
+        licenseCausedDownclock_ = false;
+        startPstateTransition(desired);
+    }
+}
+
+void
+CentralPmu::saveState(state::SaveContext &ctx) const
+{
+    if (pstateInFlight_)
+        throw state::ArchiveError("CentralPmu: snapshot while a P-state "
+                                  "transition is in flight — quiesce "
+                                  "first");
+    state::ArchiveWriter &w = ctx.w();
+    w.putF64(freqGhz_);
+    w.putBool(licenseCausedDownclock_);
+    w.putU64(pstateCount_);
+    w.putU64(voltageRequests_);
+    w.putU64(energyMark_);
+    w.putF64(energyJoules_);
+    w.putU64(probeMark_);
+    w.putF64(probeEnergyJoules_);
+    w.putU8(static_cast<std::uint8_t>(governor_.policy()));
+    w.putF64(governor_.userspaceGhz());
+    ctx.putEvent(upclockEvent_);
+    w.putU32(static_cast<std::uint32_t>(coreState_.size()));
+    for (const CoreState &cs : coreState_) {
+        w.putI32(cs.granted);
+        w.putI32(cs.pending);
+        w.putI32(cs.licenseLevel);
+        w.putBool(cs.throttledForV);
+        w.putU64(cs.lastPhi);
+        ctx.putEvent(cs.decayEvent);
+    }
+    w.putU32(static_cast<std::uint32_t>(svids_.size()));
+    for (const auto &svid : svids_)
+        svid->saveState(ctx);
+    powerLimiter_->saveState(ctx);
+}
+
+void
+CentralPmu::restoreState(state::SectionReader &r,
+                         state::RestoreContext &ctx)
+{
+    freqGhz_ = r.getF64();
+    pstateInFlight_ = false;
+    licenseCausedDownclock_ = r.getBool();
+    pstateCount_ = r.getU64();
+    voltageRequests_ = r.getU64();
+    energyMark_ = r.getU64();
+    energyJoules_ = r.getF64();
+    probeMark_ = r.getU64();
+    probeEnergyJoules_ = r.getF64();
+    governor_.setPolicy(static_cast<GovernorPolicy>(r.getU8()));
+    governor_.setUserspaceGhz(r.getF64());
+    upclockEvent_ = EventQueue::kInvalidEvent;
+    ctx.getEvent(r, [this](EventQueue &eq, Time when, int priority) {
+        upclockEvent_ =
+            eq.schedule(when, [this] { upclockFired(); }, priority);
     });
+    if (r.getU32() != coreState_.size())
+        throw state::ArchiveError("CentralPmu: core count mismatch");
+    for (std::size_t c = 0; c < coreState_.size(); ++c) {
+        CoreState &cs = coreState_[c];
+        cs.granted = r.getI32();
+        cs.pending = r.getI32();
+        cs.licenseLevel = r.getI32();
+        cs.throttledForV = r.getBool();
+        cs.lastPhi = r.getU64();
+        cs.decayEvent = EventQueue::kInvalidEvent;
+        CoreId core = static_cast<CoreId>(c);
+        ctx.getEvent(r, [this, core](EventQueue &eq, Time when,
+                                     int priority) {
+            coreState_[core].decayEvent = eq.schedule(
+                when, [this, core] { decayCheck(core); }, priority);
+        });
+    }
+    if (r.getU32() != svids_.size())
+        throw state::ArchiveError("CentralPmu: VR domain count mismatch");
+    for (auto &svid : svids_)
+        svid->restoreState(r, ctx);
+    powerLimiter_->restoreState(r, ctx);
 }
 
 void

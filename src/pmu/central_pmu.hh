@@ -37,6 +37,7 @@
 #include "pmu/limits.hh"
 #include "pmu/power_limit.hh"
 #include "pmu/pstate.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -110,6 +111,7 @@ class CentralPmu
     int grantedLevel(CoreId core) const;
     int numDomains() const { return static_cast<int>(svids_.size()); }
     Svid &svid(int domain) { return *svids_.at(domain); }
+    const Svid &svid(int domain) const { return *svids_.at(domain); }
     ///@}
 
     /** @name Software interface */
@@ -127,6 +129,17 @@ class CentralPmu
     std::uint64_t pstateTransitions() const { return pstateCount_; }
     std::uint64_t voltageRequests() const { return voltageRequests_; }
     ///@}
+
+    /**
+     * Snapshot hooks. Legal only at a quiesce point: no P-state
+     * transition in flight, every SVID bus idle, no pending governor
+     * write (writeGovernor's apply event is untracked and makes
+     * snapshot() fail its event census). Guardband decay timers, the
+     * pending upclock and the RAPL tick re-arm at their original
+     * absolute times on restore.
+     */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
     struct CoreState {
@@ -185,6 +198,7 @@ class CentralPmu
     void reevaluateFreq();
     void startPstateTransition(double target_ghz);
     void scheduleUpclock();
+    void upclockFired();
     void accrueEnergy();
     double averagePowerSinceProbe();
 };

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -17,7 +19,34 @@ PowerLimiter::PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
         throw std::invalid_argument("PowerLimiter: no frequency bins");
     capIdx_ = binsGhz_.size() - 1;
     if (cfg_.enabled)
-        eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+        evalEvent_ =
+            eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+}
+
+void
+PowerLimiter::saveState(state::SaveContext &ctx) const
+{
+    ctx.w().putU64(capIdx_);
+    ctx.w().putU64(evals_);
+    ctx.putEvent(evalEvent_);
+}
+
+void
+PowerLimiter::restoreState(state::SectionReader &r,
+                           state::RestoreContext &ctx)
+{
+    // Drop the evaluation scheduled at construction; the saved one
+    // re-arms at its original absolute time.
+    eq_.deschedule(evalEvent_);
+    evalEvent_ = EventQueue::kInvalidEvent;
+    capIdx_ = static_cast<std::size_t>(r.getU64());
+    if (capIdx_ >= binsGhz_.size())
+        throw state::ArchiveError("PowerLimiter: cap index out of range");
+    evals_ = r.getU64();
+    ctx.getEvent(r, [this](EventQueue &eq, Time when, int priority) {
+        evalEvent_ =
+            eq.schedule(when, [this] { evaluate(); }, priority);
+    });
 }
 
 double
@@ -60,7 +89,8 @@ PowerLimiter::evaluate()
     if (capIdx_ != old_idx && onChange_)
         onChange_();
     // Periodic RAPL-window evaluation for the whole run.
-    eq_.scheduleInChecked(cfg_.evalInterval, [this] { evaluate(); });
+    evalEvent_ =
+        eq_.scheduleInChecked(cfg_.evalInterval, [this] { evaluate(); });
 }
 
 } // namespace ich

@@ -17,6 +17,7 @@
 
 #include "common/event_queue.hh"
 #include "common/types.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -55,6 +56,10 @@ class PowerLimiter
     /** Number of completed evaluations (tests). */
     std::uint64_t evaluations() const { return evals_; }
 
+    /** Snapshot hooks; the periodic evaluation re-arms on restore. */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
+
   private:
     EventQueue &eq_;
     PowerLimitConfig cfg_;
@@ -64,6 +69,7 @@ class PowerLimiter
     SetpointProbe setpoint_;
     std::size_t capIdx_;
     std::uint64_t evals_ = 0;
+    EventId evalEvent_ = EventQueue::kInvalidEvent;
 
     void evaluate();
     std::size_t indexAtOrBelow(double ghz) const;

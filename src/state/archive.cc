@@ -1,0 +1,431 @@
+#include "state/archive.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ich
+{
+namespace state
+{
+
+namespace
+{
+
+/** Value type tags (one byte in front of every value). */
+enum Tag : std::uint8_t {
+    kTagBool = 1,
+    kTagU8 = 2,
+    kTagU32 = 3,
+    kTagU64 = 4,
+    kTagI32 = 5,
+    kTagF64 = 6,
+    kTagString = 7,
+};
+
+const char *
+tagName(std::uint8_t tag)
+{
+    switch (tag) {
+      case kTagBool: return "bool";
+      case kTagU8: return "u8";
+      case kTagU32: return "u32";
+      case kTagU64: return "u64";
+      case kTagI32: return "i32";
+      case kTagF64: return "f64";
+      case kTagString: return "string";
+      default: return "unknown";
+    }
+}
+
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
+
+} // namespace
+
+std::uint32_t
+crc32(const std::uint8_t *data, std::size_t size)
+{
+    // Bitwise CRC-32 (reflected, poly 0xEDB88320). Snapshots are taken
+    // at quiesce points, not in inner loops; simplicity wins over a
+    // lookup table here.
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (std::size_t i = 0; i < size; ++i) {
+        crc ^= data[i];
+        for (int b = 0; b < 8; ++b)
+            crc = (crc >> 1) ^ (0xEDB88320u & (~(crc & 1u) + 1u));
+    }
+    return ~crc;
+}
+
+void
+atomicWriteFile(const std::string &path, const Buffer &data)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        throw ArchiveError("cannot open '" + tmp + "' for writing");
+    std::size_t written =
+        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
+    bool flushed = std::fflush(f) == 0;
+    bool closed = std::fclose(f) == 0;
+    if (written != data.size() || !flushed || !closed) {
+        std::remove(tmp.c_str());
+        throw ArchiveError("short write to '" + tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw ArchiveError("cannot rename '" + tmp + "' to '" + path +
+                           "'");
+    }
+}
+
+Buffer
+readFile(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        throw ArchiveError("cannot open '" + path + "'");
+    Buffer data;
+    std::uint8_t chunk[65536];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+        data.insert(data.end(), chunk, chunk + n);
+    bool bad = std::ferror(f);
+    std::fclose(f);
+    if (bad)
+        throw ArchiveError("read error on '" + path + "'");
+    return data;
+}
+
+// ------------------------------------------------------------- writer
+
+void
+ArchiveWriter::raw32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ArchiveWriter::raw64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        payload_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ArchiveWriter::tagged(std::uint8_t tag)
+{
+    if (!inSection_)
+        throw ArchiveError("ArchiveWriter: value outside a section");
+    raw8(tag);
+}
+
+void
+ArchiveWriter::beginSection(const std::string &name)
+{
+    if (inSection_)
+        throw ArchiveError("ArchiveWriter: sections cannot nest");
+    inSection_ = true;
+    raw32(static_cast<std::uint32_t>(name.size()));
+    payload_.insert(payload_.end(), name.begin(), name.end());
+    bodyLenPos_ = payload_.size();
+    raw32(0); // patched in endSection()
+}
+
+void
+ArchiveWriter::endSection()
+{
+    if (!inSection_)
+        throw ArchiveError("ArchiveWriter: endSection without begin");
+    inSection_ = false;
+    std::uint32_t body_len =
+        static_cast<std::uint32_t>(payload_.size() - bodyLenPos_ - 4);
+    for (int i = 0; i < 4; ++i)
+        payload_[bodyLenPos_ + i] =
+            static_cast<std::uint8_t>(body_len >> (8 * i));
+}
+
+void
+ArchiveWriter::putBool(bool v)
+{
+    tagged(kTagBool);
+    raw8(v ? 1 : 0);
+}
+
+void
+ArchiveWriter::putU8(std::uint8_t v)
+{
+    tagged(kTagU8);
+    raw8(v);
+}
+
+void
+ArchiveWriter::putU32(std::uint32_t v)
+{
+    tagged(kTagU32);
+    raw32(v);
+}
+
+void
+ArchiveWriter::putU64(std::uint64_t v)
+{
+    tagged(kTagU64);
+    raw64(v);
+}
+
+void
+ArchiveWriter::putI32(std::int32_t v)
+{
+    tagged(kTagI32);
+    raw32(static_cast<std::uint32_t>(v));
+}
+
+void
+ArchiveWriter::putF64(double v)
+{
+    tagged(kTagF64);
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v, "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof bits);
+    raw64(bits);
+}
+
+void
+ArchiveWriter::putString(const std::string &v)
+{
+    tagged(kTagString);
+    raw32(static_cast<std::uint32_t>(v.size()));
+    payload_.insert(payload_.end(), v.begin(), v.end());
+}
+
+Buffer
+ArchiveWriter::finish() const
+{
+    if (inSection_)
+        throw ArchiveError("ArchiveWriter: finish with an open section");
+    Buffer out;
+    out.reserve(kHeaderSize + payload_.size());
+    auto push32 = [&out](std::uint32_t v) {
+        for (int i = 0; i < 4; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    auto push64 = [&out](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    push32(kArchiveMagic);
+    push32(kArchiveVersion);
+    push64(payload_.size());
+    push32(crc32(payload_.data(), payload_.size()));
+    out.insert(out.end(), payload_.begin(), payload_.end());
+    return out;
+}
+
+void
+ArchiveWriter::writeFile(const std::string &path) const
+{
+    atomicWriteFile(path, finish());
+}
+
+// ------------------------------------------------------------- reader
+
+SectionReader::SectionReader(std::string name, const std::uint8_t *begin,
+                             const std::uint8_t *end)
+    : name_(std::move(name)), p_(begin), end_(end)
+{
+}
+
+void
+SectionReader::need(std::size_t n, const char *what) const
+{
+    if (static_cast<std::size_t>(end_ - p_) < n)
+        throw ArchiveError("section '" + name_ + "': truncated " + what);
+}
+
+void
+SectionReader::expectTag(std::uint8_t tag, const char *what)
+{
+    need(1, "type tag");
+    std::uint8_t got = *p_++;
+    if (got != tag)
+        throw ArchiveError("section '" + name_ + "': expected " + what +
+                           ", found " + tagName(got));
+}
+
+std::uint32_t
+SectionReader::raw32()
+{
+    need(4, "value");
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p_[i]) << (8 * i);
+    p_ += 4;
+    return v;
+}
+
+std::uint64_t
+SectionReader::raw64()
+{
+    need(8, "value");
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p_[i]) << (8 * i);
+    p_ += 8;
+    return v;
+}
+
+bool
+SectionReader::getBool()
+{
+    expectTag(kTagBool, "bool");
+    need(1, "value");
+    return *p_++ != 0;
+}
+
+std::uint8_t
+SectionReader::getU8()
+{
+    expectTag(kTagU8, "u8");
+    need(1, "value");
+    return *p_++;
+}
+
+std::uint32_t
+SectionReader::getU32()
+{
+    expectTag(kTagU32, "u32");
+    return raw32();
+}
+
+std::uint64_t
+SectionReader::getU64()
+{
+    expectTag(kTagU64, "u64");
+    return raw64();
+}
+
+std::int32_t
+SectionReader::getI32()
+{
+    expectTag(kTagI32, "i32");
+    return static_cast<std::int32_t>(raw32());
+}
+
+double
+SectionReader::getF64()
+{
+    expectTag(kTagF64, "f64");
+    std::uint64_t bits = raw64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+std::string
+SectionReader::getString()
+{
+    expectTag(kTagString, "string");
+    std::uint32_t len = raw32();
+    need(len, "string body");
+    std::string s(reinterpret_cast<const char *>(p_), len);
+    p_ += len;
+    return s;
+}
+
+ArchiveReader::ArchiveReader(Buffer data) : data_(std::move(data))
+{
+    if (data_.size() < kHeaderSize)
+        throw ArchiveError("archive truncated: " +
+                           std::to_string(data_.size()) +
+                           " bytes is smaller than the header");
+    auto read32 = [this](std::size_t at) {
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(data_[at + i]) << (8 * i);
+        return v;
+    };
+    auto read64 = [this](std::size_t at) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(data_[at + i]) << (8 * i);
+        return v;
+    };
+    if (read32(0) != kArchiveMagic)
+        throw ArchiveError("not a state archive (bad magic)");
+    std::uint32_t version = read32(4);
+    if (version != kArchiveVersion)
+        throw ArchiveError(
+            "archive version mismatch: file has v" +
+            std::to_string(version) + ", this build reads v" +
+            std::to_string(kArchiveVersion));
+    std::uint64_t payload_len = read64(8);
+    if (payload_len != data_.size() - kHeaderSize)
+        throw ArchiveError("archive truncated: header promises " +
+                           std::to_string(payload_len) +
+                           " payload bytes, file carries " +
+                           std::to_string(data_.size() - kHeaderSize));
+    std::uint32_t expect_crc = read32(16);
+    std::uint32_t got_crc = crc32(data_.data() + kHeaderSize,
+                                  static_cast<std::size_t>(payload_len));
+    if (expect_crc != got_crc)
+        throw ArchiveError("archive CRC mismatch (corrupt payload)");
+
+    // Index the sections.
+    std::size_t pos = kHeaderSize;
+    const std::size_t end = data_.size();
+    while (pos < end) {
+        if (end - pos < 4)
+            throw ArchiveError("corrupt section table (name length)");
+        std::uint32_t name_len = read32(pos);
+        pos += 4;
+        if (end - pos < name_len)
+            throw ArchiveError("corrupt section table (name)");
+        std::string name(reinterpret_cast<const char *>(&data_[pos]),
+                         name_len);
+        pos += name_len;
+        if (end - pos < 4)
+            throw ArchiveError("corrupt section table (body length)");
+        std::uint32_t body_len = read32(pos);
+        pos += 4;
+        if (end - pos < body_len)
+            throw ArchiveError("corrupt section table (body)");
+        if (!index_.emplace(name, std::make_pair(pos, body_len)).second)
+            throw ArchiveError("duplicate section '" + name + "'");
+        pos += body_len;
+    }
+}
+
+ArchiveReader
+ArchiveReader::fromFile(const std::string &path)
+{
+    return ArchiveReader(readFile(path));
+}
+
+bool
+ArchiveReader::has(const std::string &name) const
+{
+    return index_.count(name) != 0;
+}
+
+SectionReader
+ArchiveReader::open(const std::string &name) const
+{
+    auto it = index_.find(name);
+    if (it == index_.end())
+        throw ArchiveError("archive has no section '" + name + "'");
+    const std::uint8_t *begin = data_.data() + it->second.first;
+    return SectionReader(name, begin, begin + it->second.second);
+}
+
+std::vector<std::string>
+ArchiveReader::sectionNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(index_.size());
+    for (const auto &kv : index_)
+        names.push_back(kv.first);
+    return names;
+}
+
+} // namespace state
+} // namespace ich

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Forward declarations of the snapshot machinery, so component headers
+ * can declare saveState()/restoreState() without pulling in the archive
+ * implementation.
+ */
+
+#ifndef ICH_STATE_FWD_HH
+#define ICH_STATE_FWD_HH
+
+namespace ich
+{
+namespace state
+{
+
+class ArchiveWriter;
+class SectionReader;
+class SaveContext;
+class RestoreContext;
+
+} // namespace state
+} // namespace ich
+
+#endif // ICH_STATE_FWD_HH

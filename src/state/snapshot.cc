@@ -1,0 +1,310 @@
+#include "state/snapshot.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "chip/simulation.hh"
+
+namespace ich
+{
+namespace state
+{
+
+// ------------------------------------------------------------ contexts
+
+void
+SaveContext::putEvent(EventId id)
+{
+    SavedEvent ev;
+    if (id != EventQueue::kInvalidEvent &&
+        eq_.pendingInfo(id, ev.when, ev.priority, ev.seq))
+        ev.valid = true;
+    w_.putBool(ev.valid);
+    w_.putU64(ev.when);
+    w_.putI32(ev.priority);
+    w_.putU64(ev.seq);
+    if (ev.valid)
+        ++tracked_;
+}
+
+void
+RestoreContext::getEvent(SectionReader &r, RearmFn fn)
+{
+    SavedEvent ev;
+    ev.valid = r.getBool();
+    ev.when = r.getU64();
+    ev.priority = r.getI32();
+    ev.seq = r.getU64();
+    if (ev.valid)
+        pending_.push_back(Pending{ev, std::move(fn)});
+}
+
+void
+RestoreContext::finish()
+{
+    if (finished_)
+        throw std::logic_error("RestoreContext: finish() called twice");
+    finished_ = true;
+    // Replay in the original firing order: the queue breaks ties on
+    // (time, priority, insertion sequence), so re-arming sorted by the
+    // saved sequence hands same-timestamp events fresh sequence numbers
+    // in the same relative order the saved run would have fired them.
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Pending &a, const Pending &b) {
+                         if (a.ev.when != b.ev.when)
+                             return a.ev.when < b.ev.when;
+                         if (a.ev.priority != b.ev.priority)
+                             return a.ev.priority < b.ev.priority;
+                         return a.ev.seq < b.ev.seq;
+                     });
+    for (Pending &p : pending_)
+        p.fn(eq_, p.ev.when, p.ev.priority);
+    rearmed_ = pending_.size();
+    pending_.clear();
+}
+
+// --------------------------------------------------------- chip config
+
+void
+putChipConfig(ArchiveWriter &w, const ChipConfig &cfg)
+{
+    w.putString(cfg.name);
+    w.putI32(cfg.numCores);
+    w.putF64(cfg.tscGhz);
+
+    const CoreConfig &core = cfg.core;
+    w.putI32(core.smtThreads);
+    w.putI32(core.throttle.windowCycles);
+    w.putBool(core.throttle.perThread);
+    w.putBool(core.avxGate.present);
+    w.putU64(core.avxGate.wakeLatencyMin);
+    w.putU64(core.avxGate.wakeLatencyMax);
+    w.putU64(core.avxGate.idleCloseDelay);
+    w.putF64(core.cdynBaseNf);
+    w.putF64(core.leakageAmps);
+
+    const PmuConfig &pmu = cfg.pmu;
+    w.putF64(pmu.vf.v0Volts);
+    w.putF64(pmu.vf.voltsPerGhz);
+    w.putF64(pmu.rllOhm);
+    w.putF64(pmu.limits.vccMaxVolts);
+    w.putF64(pmu.limits.iccMaxAmps);
+    w.putU32(static_cast<std::uint32_t>(pmu.pstate.binsGhz.size()));
+    for (double bin : pmu.pstate.binsGhz)
+        w.putF64(bin);
+    w.putF64(pmu.pstate.minGhz);
+    for (double ghz : pmu.pstate.licenseMaxGhz)
+        w.putF64(ghz);
+    w.putU64(pmu.pstate.transitionLatency);
+    w.putU64(pmu.pstate.licenseReleaseDelay);
+    w.putU8(static_cast<std::uint8_t>(pmu.governor.policy));
+    w.putF64(pmu.governor.userspaceGhz);
+    w.putU64(pmu.governor.applyLatency);
+    w.putBool(pmu.powerLimit.enabled);
+    w.putF64(pmu.powerLimit.limitWatts);
+    w.putU64(pmu.powerLimit.evalInterval);
+    w.putF64(pmu.powerLimit.raiseBelowFraction);
+    w.putU8(static_cast<std::uint8_t>(pmu.vr.kind));
+    w.putF64(pmu.vr.slewVoltsPerSecond);
+    w.putU64(pmu.vr.commandLatency);
+    w.putU64(pmu.vr.settleTime);
+    w.putU64(pmu.vr.commandJitter);
+    w.putBool(pmu.perCoreVr);
+    w.putBool(pmu.secureMode);
+    w.putU64(pmu.resetTime);
+    w.putU64(pmu.upclockDelay);
+    w.putF64(pmu.leakagePerCoreAmps);
+
+    const ThermalConfig &th = cfg.thermal;
+    w.putF64(th.ambientCelsius);
+    w.putF64(th.tjMaxCelsius);
+    w.putF64(th.rThermal);
+    w.putF64(th.cThermal);
+}
+
+ChipConfig
+getChipConfig(SectionReader &r)
+{
+    ChipConfig cfg;
+    cfg.name = r.getString();
+    cfg.numCores = r.getI32();
+    cfg.tscGhz = r.getF64();
+
+    CoreConfig &core = cfg.core;
+    core.smtThreads = r.getI32();
+    core.throttle.windowCycles = r.getI32();
+    core.throttle.perThread = r.getBool();
+    core.avxGate.present = r.getBool();
+    core.avxGate.wakeLatencyMin = r.getU64();
+    core.avxGate.wakeLatencyMax = r.getU64();
+    core.avxGate.idleCloseDelay = r.getU64();
+    core.cdynBaseNf = r.getF64();
+    core.leakageAmps = r.getF64();
+
+    PmuConfig &pmu = cfg.pmu;
+    pmu.vf.v0Volts = r.getF64();
+    pmu.vf.voltsPerGhz = r.getF64();
+    pmu.rllOhm = r.getF64();
+    pmu.limits.vccMaxVolts = r.getF64();
+    pmu.limits.iccMaxAmps = r.getF64();
+    pmu.pstate.binsGhz.resize(r.getU32());
+    for (double &bin : pmu.pstate.binsGhz)
+        bin = r.getF64();
+    pmu.pstate.minGhz = r.getF64();
+    for (double &ghz : pmu.pstate.licenseMaxGhz)
+        ghz = r.getF64();
+    pmu.pstate.transitionLatency = r.getU64();
+    pmu.pstate.licenseReleaseDelay = r.getU64();
+    pmu.governor.policy = static_cast<GovernorPolicy>(r.getU8());
+    pmu.governor.userspaceGhz = r.getF64();
+    pmu.governor.applyLatency = r.getU64();
+    pmu.powerLimit.enabled = r.getBool();
+    pmu.powerLimit.limitWatts = r.getF64();
+    pmu.powerLimit.evalInterval = r.getU64();
+    pmu.powerLimit.raiseBelowFraction = r.getF64();
+    pmu.vr.kind = static_cast<VrKind>(r.getU8());
+    pmu.vr.slewVoltsPerSecond = r.getF64();
+    pmu.vr.commandLatency = r.getU64();
+    pmu.vr.settleTime = r.getU64();
+    pmu.vr.commandJitter = r.getU64();
+    pmu.perCoreVr = r.getBool();
+    pmu.secureMode = r.getBool();
+    pmu.resetTime = r.getU64();
+    pmu.upclockDelay = r.getU64();
+    pmu.leakagePerCoreAmps = r.getF64();
+
+    ThermalConfig &th = cfg.thermal;
+    th.ambientCelsius = r.getF64();
+    th.tjMaxCelsius = r.getF64();
+    th.rThermal = r.getF64();
+    th.cThermal = r.getF64();
+    return cfg;
+}
+
+// ----------------------------------------------------- quiesce + save
+
+bool
+isQuiesced(const Simulation &sim, std::string *why)
+{
+    auto fail = [why](const std::string &reason) {
+        if (why)
+            *why = reason;
+        return false;
+    };
+    const Chip &chip = sim.chip();
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        const Core &core = chip.core(c);
+        for (int t = 0; t < core.numThreads(); ++t) {
+            const HwThread &thr = core.thread(t);
+            if (thr.started() && !thr.done())
+                return fail("core " + std::to_string(c) + " smt " +
+                            std::to_string(t) +
+                            " is still executing a program");
+        }
+    }
+    const CentralPmu &pmu = chip.pmu();
+    if (pmu.pstateInFlight())
+        return fail("a P-state transition is in flight");
+    for (int d = 0; d < pmu.numDomains(); ++d)
+        if (pmu.svid(d).busy())
+            return fail("SVID domain " + std::to_string(d) +
+                        " has transactions queued or ramping");
+    if (why)
+        why->clear();
+    return true;
+}
+
+void
+quiesce(Simulation &sim, Time max_wait)
+{
+    const Time deadline = sim.eq().now() + max_wait;
+    std::string why;
+    while (!isQuiesced(sim, &why)) {
+        if (sim.eq().nextEventTime() > deadline || !sim.eq().runOne())
+            throw std::runtime_error(
+                "state::quiesce: simulation did not quiesce within " +
+                std::to_string(toMicroseconds(max_wait)) + " us: " + why);
+    }
+}
+
+Buffer
+snapshot(Simulation &sim)
+{
+    std::string why;
+    if (!isQuiesced(sim, &why))
+        throw std::runtime_error("state::snapshot: not at a quiesce "
+                                 "point: " + why);
+
+    ArchiveWriter w;
+    w.beginSection("config");
+    putChipConfig(w, sim.chip().config());
+    w.endSection();
+
+    SaveContext ctx(w, sim.eq());
+    w.beginSection("eq");
+    sim.eq().saveState(ctx);
+    w.endSection();
+    w.beginSection("rng");
+    sim.rng().saveState(ctx);
+    w.endSection();
+    w.beginSection("chip");
+    sim.chip().saveState(ctx);
+    w.endSection();
+    w.beginSection("pmu");
+    sim.chip().pmu().saveState(ctx);
+    w.endSection();
+
+    // Event census: every live event must belong to a component that
+    // re-arms it on restore. A leftover NoiseInjector/PhiApp/Daq or a
+    // pending governor write would otherwise be silently dropped.
+    if (ctx.trackedEvents() != sim.eq().size())
+        throw std::runtime_error(
+            "state::snapshot: " + std::to_string(sim.eq().size()) +
+            " live events but only " +
+            std::to_string(ctx.trackedEvents()) +
+            " tracked by components — detach noise sources, samplers "
+            "and pending software writes before snapshotting");
+    return w.finish();
+}
+
+void
+snapshotToFile(Simulation &sim, const std::string &path)
+{
+    atomicWriteFile(path, snapshot(sim));
+}
+
+std::unique_ptr<Simulation>
+restore(const Buffer &buf)
+{
+    ArchiveReader archive(buf);
+    SectionReader config = archive.open("config");
+    ChipConfig cfg = getChipConfig(config);
+
+    auto sim = std::make_unique<Simulation>(cfg);
+    RestoreContext ctx(sim->eq());
+    SectionReader eq = archive.open("eq");
+    sim->eq().restoreState(eq);
+    SectionReader rng = archive.open("rng");
+    sim->rng().restoreState(rng);
+    SectionReader chip = archive.open("chip");
+    sim->chip().restoreState(chip, ctx);
+    SectionReader pmu = archive.open("pmu");
+    sim->chip().pmu().restoreState(pmu, ctx);
+    ctx.finish();
+
+    if (sim->eq().size() != ctx.rearmed())
+        throw ArchiveError("state::restore: event census mismatch after "
+                           "re-arm (" + std::to_string(sim->eq().size()) +
+                           " live vs " + std::to_string(ctx.rearmed()) +
+                           " re-armed)");
+    return sim;
+}
+
+std::unique_ptr<Simulation>
+restoreFromFile(const std::string &path)
+{
+    return restore(readFile(path));
+}
+
+} // namespace state
+} // namespace ich

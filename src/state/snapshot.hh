@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Simulator snapshot/restore on top of the StateArchive.
+ *
+ * Snapshots are taken at *quiesce points*: every thread program has run
+ * to completion (or not started), no P-state transition is in flight,
+ * and the PDN is settled (no SVID transaction queued or ramping). At
+ * such a point the only live events are periodic housekeeping —
+ * guardband decay checks, power-gate idle-close timers, the pending
+ * upclock, the RAPL evaluation tick — and every one of them is owned by
+ * a component that can *re-arm* it from its own serialized state. No
+ * closure is ever written to the archive.
+ *
+ * The contract for component authors (see EXPERIMENTS.md "Snapshots"):
+ *
+ *  1. saveState() writes the component's logical state plus, for each
+ *     pending event it owns, SaveContext::putEvent(id) — which records
+ *     the event's absolute fire time, priority and insertion sequence.
+ *  2. restoreState() reads the same values in the same order and
+ *     re-arms each event via RestoreContext::getEvent(r, fn). Re-arms
+ *     are deferred and replayed sorted by (time, priority, original
+ *     sequence), so same-timestamp events fire in the same order as in
+ *     an uninterrupted run — the byte-identical-restore guarantee.
+ *  3. snapshot() cross-checks that every live event was accounted for;
+ *     untracked events (an attached NoiseInjector, PhiApp or Daq, a
+ *     pending governor write) make the snapshot fail loudly instead of
+ *     silently dropping behavior.
+ */
+
+#ifndef ICH_STATE_SNAPSHOT_HH
+#define ICH_STATE_SNAPSHOT_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.hh"
+#include "common/types.hh"
+#include "state/archive.hh"
+
+namespace ich
+{
+
+struct ChipConfig;
+class Simulation;
+
+namespace state
+{
+
+/** Serialized identity of one pending event. */
+struct SavedEvent {
+    bool valid = false;
+    Time when = 0;
+    std::int32_t priority = 0;
+    std::uint64_t seq = 0; ///< original insertion sequence (tie order)
+};
+
+/**
+ * Save-side context: wraps the ArchiveWriter and counts the pending
+ * events components claim, so snapshot() can prove nothing live was
+ * left untracked.
+ */
+class SaveContext
+{
+  public:
+    SaveContext(ArchiveWriter &w, const EventQueue &eq) : w_(w), eq_(eq)
+    {
+    }
+
+    ArchiveWriter &w() { return w_; }
+    const EventQueue &eq() const { return eq_; }
+
+    /**
+     * Record a pending-event handle (kInvalidEvent or stale handles
+     * serialize as not-pending). Fixed-size on disk either way.
+     */
+    void putEvent(EventId id);
+
+    /** Live events claimed so far via putEvent(). */
+    std::size_t trackedEvents() const { return tracked_; }
+
+  private:
+    ArchiveWriter &w_;
+    const EventQueue &eq_;
+    std::size_t tracked_ = 0;
+};
+
+/**
+ * Restore-side context: collects deferred re-arm requests and replays
+ * them in deterministic order once every component has restored.
+ */
+class RestoreContext
+{
+  public:
+    /** Re-arm callback: schedule at @p when / @p priority, keep the id. */
+    using RearmFn = std::function<void(EventQueue &, Time when,
+                                       int priority)>;
+
+    explicit RestoreContext(EventQueue &eq) : eq_(eq) {}
+
+    EventQueue &eq() { return eq_; }
+
+    /**
+     * Read a SavedEvent from @p r; when it was pending, defer @p fn
+     * until finish().
+     */
+    void getEvent(SectionReader &r, RearmFn fn);
+
+    /**
+     * Replay deferred re-arms sorted by (when, priority, original
+     * sequence). Call exactly once, after all components restored.
+     */
+    void finish();
+
+    /** Events re-armed by finish(). */
+    std::size_t rearmed() const { return rearmed_; }
+
+  private:
+    struct Pending {
+        SavedEvent ev;
+        RearmFn fn;
+    };
+
+    EventQueue &eq_;
+    std::vector<Pending> pending_;
+    std::size_t rearmed_ = 0;
+    bool finished_ = false;
+};
+
+/** Serialize / reconstruct a full ChipConfig ("config" section body). */
+void putChipConfig(ArchiveWriter &w, const ChipConfig &cfg);
+ChipConfig getChipConfig(SectionReader &r);
+
+/**
+ * True when @p sim is at a legal snapshot point; otherwise false with a
+ * human-readable reason in @p why (when non-null).
+ */
+bool isQuiesced(const Simulation &sim, std::string *why = nullptr);
+
+/**
+ * Run @p sim forward until it quiesces. Throws std::runtime_error when
+ * it has not quiesced within @p max_wait of simulated time.
+ */
+void quiesce(Simulation &sim, Time max_wait = fromSeconds(1.0));
+
+/**
+ * Snapshot a quiesced simulation into a self-contained archive (chip
+ * config included, so restore() needs nothing else). Throws
+ * std::runtime_error when the simulation is not quiesced or when live
+ * events remain that no component accounted for.
+ */
+Buffer snapshot(Simulation &sim);
+
+/** snapshot() + atomic write to @p path. */
+void snapshotToFile(Simulation &sim, const std::string &path);
+
+/**
+ * Reconstruct a simulation from a snapshot(). The result continues
+ * byte-identically to the simulation the snapshot was taken from.
+ * Throws ArchiveError on a corrupt/mismatched archive.
+ */
+std::unique_ptr<Simulation> restore(const Buffer &buf);
+
+/** restore() from a file written by snapshotToFile(). */
+std::unique_ptr<Simulation> restoreFromFile(const std::string &path);
+
+} // namespace state
+} // namespace ich
+
+#endif // ICH_STATE_SNAPSHOT_HH

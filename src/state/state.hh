@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Umbrella header for the snapshot/restore subsystem.
+ *
+ * The pieces, bottom-up:
+ *  - archive.hh   StateArchive: versioned binary container (named
+ *                 sections, explicit widths, CRC-checked)
+ *  - snapshot.hh  quiesce-point contract, SaveContext/RestoreContext,
+ *                 whole-Simulation snapshot()/restore()
+ */
+
+#ifndef ICH_STATE_STATE_HH
+#define ICH_STATE_STATE_HH
+
+#include "state/archive.hh"
+#include "state/snapshot.hh"
+
+#endif // ICH_STATE_STATE_HH

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "state/snapshot.hh"
+
 namespace ich
 {
 
@@ -21,6 +23,20 @@ ThermalModel::update(Time now, double watts)
         lastUpdate_ = now;
     }
     return tempC_;
+}
+
+void
+ThermalModel::saveState(state::SaveContext &ctx) const
+{
+    ctx.w().putF64(tempC_);
+    ctx.w().putU64(lastUpdate_);
+}
+
+void
+ThermalModel::restoreState(state::SectionReader &r)
+{
+    tempC_ = r.getF64();
+    lastUpdate_ = r.getU64();
 }
 
 } // namespace ich

@@ -17,6 +17,7 @@
 #define ICH_THERMAL_THERMAL_MODEL_HH
 
 #include "common/types.hh"
+#include "state/fwd.hh"
 
 namespace ich
 {
@@ -50,6 +51,10 @@ class ThermalModel
     bool overTjMax() const { return tempC_ > cfg_.tjMaxCelsius; }
 
     const ThermalConfig &config() const { return cfg_; }
+
+    /** Snapshot hooks (temperature + integration mark). */
+    void saveState(state::SaveContext &ctx) const;
+    void restoreState(state::SectionReader &r);
 
   private:
     ThermalConfig cfg_;

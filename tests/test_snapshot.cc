@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Snapshot/restore determinism tests: a simulation restored from a
+ * quiesce-point snapshot must continue byte-identically to the
+ * simulation it was saved from — records, counters, PMU stats, rail
+ * voltage, frequency, temperature and event accounting — for both the
+ * desktop (Coffee Lake) and server (Skylake-SP) presets. Plus the
+ * failure modes: snapshotting mid-program, untracked events, and
+ * corrupt archives must raise clean errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "chip/presets.hh"
+#include "chip/simulation.hh"
+#include "state/state.hh"
+
+namespace ich
+{
+namespace
+{
+
+/** Warm-up: PHI bursts on every core, run to completion, then settle. */
+void
+warmUp(Simulation &sim)
+{
+    Chip &chip = sim.chip();
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        Program p;
+        p.loop(InstClass::k256Heavy, 3000, 100);
+        p.idle(fromMicroseconds(40));
+        p.loop(InstClass::k256Light, 1500, 100);
+        HwThread &thr = chip.core(c).thread(0);
+        thr.setProgram(std::move(p));
+        thr.start();
+    }
+    sim.run(fromSeconds(1.0));
+    state::quiesce(sim);
+}
+
+/**
+ * Continuation phase: drive fresh PHI work (plus the throttling and
+ * decay machinery it provokes) and render everything observable into a
+ * string. %a formatting keeps doubles bit-exact, so two signatures are
+ * equal iff the runs were byte-identical.
+ */
+std::string
+continuationSignature(Simulation &sim, Time duration)
+{
+    Chip &chip = sim.chip();
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        Program p;
+        p.mark(100 + c);
+        p.loop(InstClass::k256Heavy, 2000, 100);
+        p.idle(fromMicroseconds(25));
+        p.loopChunked(InstClass::kScalar64, 4000, 500, 200 + c, 100);
+        HwThread &thr = chip.core(c).thread(0);
+        thr.setProgram(std::move(p));
+        thr.start();
+    }
+    sim.runFor(duration);
+
+    std::string sig;
+    char buf[256];
+    auto add = [&sig, &buf](int n) {
+        sig.append(buf, static_cast<std::size_t>(n));
+    };
+    add(std::snprintf(buf, sizeof buf,
+                      "now=%llu executed=%llu pending=%zu\n",
+                      static_cast<unsigned long long>(sim.eq().now()),
+                      static_cast<unsigned long long>(
+                          sim.eq().executedEvents()),
+                      sim.eq().size()));
+    add(std::snprintf(buf, sizeof buf,
+                      "freq=%a volts=%a icc=%a tj=%a\n", chip.freqGhz(),
+                      chip.vccVolts(), chip.iccAmps(), chip.tjCelsius()));
+    const CentralPmu &pmu = chip.pmu();
+    add(std::snprintf(buf, sizeof buf, "pstates=%llu vreqs=%llu\n",
+                      static_cast<unsigned long long>(
+                          pmu.pstateTransitions()),
+                      static_cast<unsigned long long>(
+                          pmu.voltageRequests())));
+    for (int c = 0; c < chip.coreCount(); ++c) {
+        const Core &core = chip.core(c);
+        add(std::snprintf(buf, sizeof buf, "core%d asserts=%llu gb=%d\n",
+                          c,
+                          static_cast<unsigned long long>(
+                              core.throttle().assertCount()),
+                          pmu.grantedLevel(c)));
+        for (int t = 0; t < core.numThreads(); ++t) {
+            const HwThread &thr = core.thread(t);
+            const PerfCounters &pc = thr.counters();
+            add(std::snprintf(
+                buf, sizeof buf, " t%d clk=%llu inst=%llu idq=%llu\n", t,
+                static_cast<unsigned long long>(pc.clkUnhalted()),
+                static_cast<unsigned long long>(pc.instRetired()),
+                static_cast<unsigned long long>(
+                    pc.idqUopsNotDelivered())));
+            for (const Record &rec : thr.records())
+                add(std::snprintf(
+                    buf, sizeof buf, " rec %d %llu %llu %llu\n", rec.tag,
+                    static_cast<unsigned long long>(rec.tsc),
+                    static_cast<unsigned long long>(rec.time),
+                    static_cast<unsigned long long>(
+                        rec.iterationsDone)));
+        }
+    }
+    return sig;
+}
+
+void
+expectByteIdenticalRestore(ChipConfig cfg, std::uint64_t seed)
+{
+    // A nonzero command jitter makes the PDN consume random numbers, so
+    // this also proves the Rng stream restores mid-sequence.
+    cfg.pmu.vr.commandJitter = fromNanoseconds(100);
+
+    Simulation original(cfg, seed);
+    warmUp(original);
+    state::Buffer snap = state::snapshot(original);
+
+    std::unique_ptr<Simulation> restored = state::restore(snap);
+    ASSERT_EQ(restored->eq().now(), original.eq().now());
+    ASSERT_EQ(restored->eq().size(), original.eq().size());
+
+    std::string sig_original =
+        continuationSignature(original, fromMilliseconds(20));
+    std::string sig_restored =
+        continuationSignature(*restored, fromMilliseconds(20));
+    EXPECT_EQ(sig_original, sig_restored);
+}
+
+TEST(Snapshot, DesktopPresetRestoresByteIdentically)
+{
+    expectByteIdenticalRestore(presets::coffeeLake(), 42);
+}
+
+TEST(Snapshot, ServerPresetRestoresByteIdentically)
+{
+    expectByteIdenticalRestore(presets::skylakeServer(), 1234);
+}
+
+TEST(Snapshot, PinnedFrequencyPresetRestoresByteIdentically)
+{
+    ChipConfig cfg = presets::cannonLake();
+    cfg.pmu.governor.policy = GovernorPolicy::kUserspace;
+    cfg.pmu.governor.userspaceGhz = 1.4;
+    expectByteIdenticalRestore(cfg, 7);
+}
+
+TEST(Snapshot, SnapshotOfRestoredSimulationAlsoRestores)
+{
+    // Snapshot chains: warm -> snap -> restore -> run -> quiesce ->
+    // snap again; the second-generation restore must still track.
+    Simulation sim(presets::coffeeLake(), 5);
+    warmUp(sim);
+    auto gen1 = state::restore(state::snapshot(sim));
+    std::string sig1 = continuationSignature(*gen1, fromMilliseconds(5));
+    state::quiesce(*gen1);
+    auto gen2 = state::restore(state::snapshot(*gen1));
+    EXPECT_EQ(gen2->eq().now(), gen1->eq().now());
+    // Different phases, so sig1 != sig2 is expected; what matters is
+    // that the second generation quiesced, snapshotted and restored
+    // without tripping any census/consistency check — and still runs.
+    std::string sig2 = continuationSignature(*gen2, fromMilliseconds(5));
+    EXPECT_NE(sig2, sig1);
+}
+
+TEST(Snapshot, MidProgramSnapshotThrows)
+{
+    Simulation sim(presets::coffeeLake(), 9);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::k256Heavy, 2'000'000, 100);
+    thr.setProgram(std::move(p));
+    thr.start();
+    sim.runFor(fromMicroseconds(50));
+    EXPECT_FALSE(state::isQuiesced(sim));
+    EXPECT_THROW(state::snapshot(sim), std::runtime_error);
+}
+
+TEST(Snapshot, UntrackedEventFailsTheCensus)
+{
+    Simulation sim(presets::coffeeLake(), 9);
+    warmUp(sim);
+    // An anonymous event (like a NoiseInjector or Daq would schedule)
+    // has no owner to re-arm it: the census must reject the snapshot.
+    sim.eq().scheduleIn(fromMicroseconds(5), [] {});
+    try {
+        state::snapshot(sim);
+        FAIL() << "census accepted an untracked event";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("tracked"),
+                  std::string::npos);
+    }
+}
+
+TEST(Snapshot, QuiesceTimesOutWithReason)
+{
+    Simulation sim(presets::coffeeLake(), 9);
+    HwThread &thr = sim.chip().core(0).thread(0);
+    Program p;
+    p.loop(InstClass::kScalar64, 50'000'000, 100); // ~seconds of work
+    thr.setProgram(std::move(p));
+    thr.start();
+    try {
+        state::quiesce(sim, fromMicroseconds(100));
+        FAIL() << "quiesce should have timed out";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("executing"),
+                  std::string::npos);
+    }
+}
+
+TEST(Snapshot, CorruptSnapshotsFailCleanlyInRestore)
+{
+    Simulation sim(presets::coffeeLake(), 11);
+    warmUp(sim);
+    state::Buffer snap = state::snapshot(sim);
+
+    // Truncations at a spread of lengths.
+    for (std::size_t len : {std::size_t{0}, std::size_t{10},
+                            snap.size() / 2, snap.size() - 1}) {
+        state::Buffer cut(snap.begin(), snap.begin() + len);
+        EXPECT_THROW(state::restore(cut), state::ArchiveError);
+    }
+    // Payload bit-rot.
+    state::Buffer rot = snap;
+    rot[rot.size() / 2] ^= 0x40;
+    EXPECT_THROW(state::restore(rot), state::ArchiveError);
+    // Version skew.
+    state::Buffer ver = snap;
+    ver[4] ^= 0x02;
+    EXPECT_THROW(state::restore(ver), state::ArchiveError);
+    // The pristine buffer still restores afterwards.
+    EXPECT_NO_THROW(state::restore(snap));
+}
+
+TEST(Snapshot, SnapshotFileRoundTrip)
+{
+    std::string path = ::testing::TempDir() + "sim_roundtrip.snap";
+    Simulation sim(presets::coffeeLake(), 21);
+    warmUp(sim);
+    state::snapshotToFile(sim, path);
+    auto restored = state::restoreFromFile(path);
+    EXPECT_EQ(continuationSignature(sim, fromMilliseconds(10)),
+              continuationSignature(*restored, fromMilliseconds(10)));
+    std::remove(path.c_str());
+}
+
+TEST(Snapshot, RestoredRngContinuesTheStream)
+{
+    ChipConfig cfg = presets::coffeeLake();
+    Simulation sim(cfg, 77);
+    warmUp(sim);
+    auto restored = state::restore(state::snapshot(sim));
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(sim.rng().uniformInt(0, 1u << 30),
+                  restored->rng().uniformInt(0, 1u << 30));
+}
+
+} // namespace
+} // namespace ich
