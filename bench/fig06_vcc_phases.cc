@@ -59,7 +59,7 @@ main()
     chip.core(1).thread(0).setProgram(std::move(p1));
     chip.core(0).thread(0).setProgram(std::move(p0));
 
-    Daq daq(sim.eq(), fromMicroseconds(50));
+    Daq daq(sim.chip().ticker(), fromMicroseconds(50));
     daq.addChannel("vcc_delta_mV", [&] {
         return (chip.vccVolts() - v0) * 1000.0;
     });
@@ -96,7 +96,7 @@ main()
         }
         chip_b.core(c).thread(0).setProgram(std::move(p));
     }
-    Daq daq_b(sim_b.eq(), fromMicroseconds(50));
+    Daq daq_b(sim_b.chip().ticker(), fromMicroseconds(50));
     daq_b.addChannel("vcc_delta_mV", [&] {
         return (chip_b.vccVolts() - v0b) * 1000.0;
     });

@@ -104,7 +104,7 @@ main()
         phase(p, InstClass::k512Heavy, 4.0, 1.8);
         chip.core(c).thread(0).setProgram(std::move(p));
     }
-    Daq daq(sim.eq(), fromMicroseconds(100));
+    Daq daq(sim.chip().ticker(), fromMicroseconds(100));
     daq.addChannel("freq_GHz", [&] { return chip.freqGhz(); });
     daq.addChannel("vcc_V", [&] { return chip.vccVolts(); });
     daq.addChannel("icc_A", [&] { return chip.iccAmps(); });

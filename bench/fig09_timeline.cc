@@ -41,7 +41,7 @@ runTimeline(const ChipConfig &cfg, const char *label, double span_us)
     p.loop(InstClass::k256Heavy, 2000, 100);
     chip.core(0).thread(0).setProgram(std::move(p));
 
-    Daq daq(sim.eq(), fromMicroseconds(1));
+    Daq daq(sim.chip().ticker(), fromMicroseconds(1));
     daq.addChannel("ipc", [&] { return ipcOf(chip); });
     daq.addChannel("vcc_mV", [&] {
         return (chip.vccVolts() - v0) * 1000.0;
@@ -90,7 +90,7 @@ main()
         Program p;
         p.loop(InstClass::k256Heavy, 50, 100);
         chip.core(0).thread(0).setProgram(std::move(p));
-        Daq daq(sim.eq(), fromNanoseconds(2));
+        Daq daq(sim.chip().ticker(), fromNanoseconds(2));
         daq.addChannel("pg_open", [&] {
             return chip.core(0).avxGate().closed() ? 0.0 : 1.0;
         });

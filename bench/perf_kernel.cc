@@ -18,7 +18,23 @@
  *                every core — end-to-end events/sec including the
  *                PMU/PDN machinery.
  *
- * Event counts scale down via ICH_PERF_EVENTS for CI smoke runs.
+ * A second scenario, "BENCH_tick" (written to DIR/BENCH_tick.json),
+ * measures the rate-grouped Ticker against the pre-refactor
+ * one-event-per-component pattern on periodic-heavy workloads:
+ *
+ *  - tick_groups synthetic clocked members spread over a few rate
+ *                groups, driven once by the Ticker and once by
+ *                per-member self-rescheduling event chains; reports
+ *                events_per_simulated_ms for both and
+ *                speedup_vs_per_event (the acceptance gate is >= 1.3).
+ *  - sim_tick    full chip with every periodic subsystem enabled (RAPL
+ *                window, ondemand governor evaluation, thermal
+ *                sampling) plus a bank of 1 µs observers, ticker-driven
+ *                vs per-event self-arming — the sim_run-style view of
+ *                the same coalescing.
+ *
+ * Event counts scale down via ICH_PERF_EVENTS / ICH_PERF_TICKERS /
+ * ICH_PERF_TICK_MS for CI smoke runs.
  * Workers are forced to 1: wall-clock metrics must not contend.
  */
 
@@ -29,10 +45,13 @@
 #include <functional>
 #include <memory>
 #include <queue>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bench_util.hh"
+#include "common/ticker.hh"
 #include "exp/exp.hh"
 #include "os/noise.hh"
 
@@ -291,6 +310,207 @@ struct NewQueue : EventQueue {
     using EventId = ich::EventId;
 };
 
+// ------------------------------------------------------------- BENCH_tick
+
+/** Synthetic clocked component: a few flops of state math per tick. */
+struct SynthTick final : Clocked {
+    double acc = 0.0;
+    std::uint64_t ticks = 0;
+    Time period = 0;
+
+    void
+    tick(Time now) override
+    {
+        acc += static_cast<double>(now & 0xfff) * 1e-6;
+        ++ticks;
+    }
+};
+
+/** Self-rearming chain emulating the pre-Ticker per-component event. */
+struct SelfArm {
+    EventQueue *eq;
+    SynthTick *m;
+    Time horizon;
+    void
+    operator()() const
+    {
+        m->tick(eq->now());
+        Time next = eq->now() + m->period;
+        if (next <= horizon)
+            eq->scheduleChecked(next, SelfArm{eq, m, horizon});
+    }
+};
+
+/**
+ * K members over four rate groups, simulated to @p horizon twice: once
+ * Ticker-driven (one event per group per period), once with per-member
+ * self-rescheduling chains (one heap pair per member per period). The
+ * member work is identical; the measured difference is the scheduling
+ * machinery the Ticker coalesces away.
+ */
+exp::MetricMap
+tickGroupsMetrics(unsigned members, Time horizon)
+{
+    static constexpr Time kPeriods[] = {
+        fromNanoseconds(800), fromNanoseconds(1000),
+        fromNanoseconds(1600), fromNanoseconds(2000)};
+
+    std::vector<SynthTick> viaTicker(members);
+    std::uint64_t ticker_events = 0;
+    std::uint64_t ticker_ticks = 0;
+    double ticker_wall = 0.0;
+    {
+        EventQueue eq;
+        Ticker ticker(eq);
+        for (unsigned i = 0; i < members; ++i) {
+            viaTicker[i].period = kPeriods[i % 4];
+            ticker.add(viaTicker[i], TickRate{viaTicker[i].period, 0, 0});
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        eq.runUntil(horizon);
+        ticker_wall = secondsSince(t0);
+        ticker_events = eq.executedEvents();
+        for (const SynthTick &t : viaTicker)
+            ticker_ticks += t.ticks;
+    }
+
+    std::vector<SynthTick> viaEvents(members);
+    std::uint64_t pe_events = 0;
+    std::uint64_t pe_ticks = 0;
+    double pe_wall = 0.0;
+    {
+        EventQueue eq;
+        for (unsigned i = 0; i < members; ++i) {
+            viaEvents[i].period = kPeriods[i % 4];
+            eq.scheduleChecked(viaEvents[i].period,
+                               SelfArm{&eq, &viaEvents[i], horizon});
+        }
+        auto t0 = std::chrono::steady_clock::now();
+        eq.runUntil(horizon);
+        pe_wall = secondsSince(t0);
+        pe_events = eq.executedEvents();
+        for (const SynthTick &t : viaEvents)
+            pe_ticks += t.ticks;
+    }
+
+    // The speedup is only meaningful over *identical* work.
+    if (ticker_ticks != pe_ticks)
+        throw std::runtime_error(
+            "BENCH_tick: grouped and per-event runs delivered different "
+            "tick counts (" + std::to_string(ticker_ticks) + " vs " +
+            std::to_string(pe_ticks) + ")");
+
+    double sim_ms = toSeconds(horizon) * 1e3;
+    exp::MetricMap m;
+    m["events_per_sec"] =
+        static_cast<double>(ticker_events) / ticker_wall;
+    m["events_per_simulated_ms"] =
+        static_cast<double>(ticker_events) / sim_ms;
+    m["per_event_events_per_simulated_ms"] =
+        static_cast<double>(pe_events) / sim_ms;
+    m["ticks_per_sec"] = static_cast<double>(ticker_ticks) / ticker_wall;
+    m["speedup_vs_per_event"] = pe_wall / ticker_wall;
+    return m;
+}
+
+/** Chip-state observer (volts + frequency), tickable either way. */
+struct ChipProbe final : Clocked {
+    Chip *chip = nullptr;
+    double acc = 0.0;
+
+    void
+    tick(Time) override
+    {
+        acc += chip->vccVolts() + chip->freqGhz();
+    }
+};
+
+/** Self-rearming observer chain (endless; the run is program-bound). */
+struct ProbeArm {
+    EventQueue *eq;
+    ChipProbe *p;
+    Time period;
+    void
+    operator()() const
+    {
+        p->tick(eq->now());
+        eq->scheduleChecked(eq->now() + period, *this);
+    }
+};
+
+/**
+ * Full chip with every periodic subsystem enabled — RAPL window,
+ * ondemand governor evaluation, thermal sampling — plus a bank of 1 µs
+ * observers, run to program completion. The simulated trajectory is
+ * identical in both modes (observers only read); the wall-clock delta
+ * is the periodic-event machinery.
+ */
+exp::MetricMap
+simTickMetrics(std::uint64_t iters, unsigned probes, std::uint64_t seed)
+{
+    auto makeSim = [&] {
+        ChipConfig cfg = bench::pinned(presets::cannonLake(), 3.0);
+        cfg.pmu.powerLimit.enabled = true;
+        cfg.pmu.powerLimit.evalInterval = fromMicroseconds(200);
+        cfg.pmu.governor.evalInterval = fromMicroseconds(50);
+        cfg.thermal.sampleInterval = fromMicroseconds(20);
+        auto sim = std::make_unique<Simulation>(cfg, seed);
+        for (int c = 0; c < sim->chip().coreCount(); ++c) {
+            Program p;
+            p.loopChunked(InstClass::k512Heavy, iters,
+                          /*record_every=*/10, /*tag=*/1);
+            sim->chip().core(c).thread(0).setProgram(std::move(p));
+            sim->chip().core(c).thread(0).start();
+        }
+        return sim;
+    };
+    const Time probe_period = fromMicroseconds(1);
+
+    auto sim_t = makeSim();
+    std::vector<ChipProbe> obs_t(probes);
+    for (ChipProbe &p : obs_t) {
+        p.chip = &sim_t->chip();
+        sim_t->chip().ticker().add(p, TickRate{probe_period, 0, 0},
+                                   Ticker::Ownership::kTransient);
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    Time end_t = sim_t->run();
+    double ticker_wall = secondsSince(t0);
+    std::uint64_t ticker_events = sim_t->eq().executedEvents();
+
+    auto sim_p = makeSim();
+    std::vector<ChipProbe> obs_p(probes);
+    for (ChipProbe &p : obs_p) {
+        p.chip = &sim_p->chip();
+        sim_p->eq().scheduleChecked(
+            probe_period, ProbeArm{&sim_p->eq(), &p, probe_period});
+    }
+    t0 = std::chrono::steady_clock::now();
+    Time end_p = sim_p->run();
+    double pe_wall = secondsSince(t0);
+    std::uint64_t pe_events = sim_p->eq().executedEvents();
+
+    // Observers must not perturb the simulation: same end time or bust.
+    if (end_t != end_p)
+        throw std::runtime_error(
+            "BENCH_tick: sim_tick grouped and per-event runs ended at "
+            "different simulated times (" + std::to_string(end_t) +
+            " vs " + std::to_string(end_p) + ")");
+
+    double sim_ms = toSeconds(end_t) * 1e3;
+    exp::MetricMap m;
+    m["sim_events"] = static_cast<double>(ticker_events);
+    m["sim_wall_ms"] = ticker_wall * 1e3;
+    m["events_per_sec"] =
+        static_cast<double>(ticker_events) / ticker_wall;
+    m["events_per_simulated_ms"] =
+        static_cast<double>(ticker_events) / sim_ms;
+    m["per_event_events_per_simulated_ms"] =
+        static_cast<double>(pe_events) / sim_ms;
+    m["speedup_vs_per_event"] = pe_wall / ticker_wall;
+    return m;
+}
+
 exp::ScenarioRegistry
 buildScenarios()
 {
@@ -343,6 +563,28 @@ buildScenarios()
         return m;
     };
     reg.add(std::move(spec));
+
+    const unsigned tick_members = static_cast<unsigned>(
+        envCount("ICH_PERF_TICKERS", 256));
+    const Time tick_horizon = fromMilliseconds(static_cast<double>(
+        envCount("ICH_PERF_TICK_MS", 20)));
+    const std::uint64_t tick_iters =
+        envCount("ICH_PERF_SIM_ITERS", 20000);
+
+    exp::ScenarioSpec tick;
+    tick.name = "BENCH_tick";
+    tick.description = "rate-grouped Ticker vs per-component periodic "
+                       "self-rescheduling events";
+    tick.axes = {exp::axisLabeled("workload",
+                                  {"tick_groups", "sim_tick"})};
+    tick.trials = 3;
+    tick.baseSeed = 7;
+    tick.run = [=](const exp::TrialContext &ctx) {
+        if (ctx.point.getInt("workload") == 0)
+            return tickGroupsMetrics(tick_members, tick_horizon);
+        return simTickMetrics(tick_iters, /*probes=*/64, ctx.seed);
+    };
+    reg.add(std::move(tick));
     return reg;
 }
 
@@ -371,5 +613,25 @@ main(int argc, char **argv)
                 churn.at("legacy_events_per_sec").mean / 1e6, speedup);
     if (speedup < 2.0)
         std::printf("WARNING: speedup below the 2x refactor target\n");
+
+    bench::banner("BENCH_tick",
+                  "rate-grouped Ticker vs per-event periodic traffic");
+    exp::SweepResult tick = exp::runAndReport(*reg.find("BENCH_tick"),
+                                              cli);
+    const auto &groups = tick.aggregates.at(0).metrics;
+    const auto &simt = tick.aggregates.at(1).metrics;
+    std::printf("\ntick_groups: %.0f events/sim-ms grouped vs %.0f "
+                "per-event -> %.2fx wall speedup\n",
+                groups.at("events_per_simulated_ms").mean,
+                groups.at("per_event_events_per_simulated_ms").mean,
+                groups.at("speedup_vs_per_event").mean);
+    std::printf("sim_tick:    %.0f events/sim-ms grouped vs %.0f "
+                "per-event -> %.2fx wall speedup\n",
+                simt.at("events_per_simulated_ms").mean,
+                simt.at("per_event_events_per_simulated_ms").mean,
+                simt.at("speedup_vs_per_event").mean);
+    if (groups.at("speedup_vs_per_event").mean < 1.3)
+        std::printf("WARNING: tick_groups speedup below the 1.3x "
+                    "refactor target\n");
     return 0;
 }

@@ -7,10 +7,16 @@ summaries, or non-finite values — so the CI perf-smoke job catches a
 silently broken benchmark even though it never gates on absolute speed.
 
 Usage:
-    check_bench_json.py [--require METRIC]... FILE...
+    check_bench_json.py [--require METRIC]... [--min-ratio M:F]... FILE...
 
 Every --require METRIC must appear in at least one point of every FILE,
 with a finite mean and count >= 1.
+
+Every --min-ratio METRIC:FLOOR is a coarse perf-regression guard: the
+metric must appear in at least one point of every FILE, and every point
+that reports it must have mean >= FLOOR. Floors are committed well below
+locally measured values so shared-runner noise never trips them; a trip
+means the speedup mechanism itself regressed.
 """
 
 import argparse
@@ -43,7 +49,19 @@ def check_summary(path, metric, summary):
     return True
 
 
-def check_file(path, required):
+def parse_min_ratio(spec):
+    metric, sep, floor = spec.rpartition(":")
+    if not sep or not metric:
+        raise argparse.ArgumentTypeError(
+            f"--min-ratio wants METRIC:FLOOR, got {spec!r}")
+    try:
+        return metric, float(floor)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"--min-ratio floor not a number: {spec!r}") from e
+
+
+def check_file(path, required, min_ratios):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -66,10 +84,21 @@ def check_file(path, required):
         for name, summary in metrics.items():
             seen.add(name)
             ok = check_summary(path, name, summary) and ok
+            for metric, floor in min_ratios:
+                if name != metric:
+                    continue
+                mean = summary.get("mean")
+                if isinstance(mean, (int, float)) and mean < floor:
+                    ok = fail(
+                        path, f"point {i}: '{metric}' mean {mean:.3f} "
+                        f"below committed floor {floor}")
 
     for metric in required:
         if metric not in seen:
             ok = fail(path, f"required metric '{metric}' absent")
+    for metric, _ in min_ratios:
+        if metric not in seen:
+            ok = fail(path, f"--min-ratio metric '{metric}' absent")
     if ok:
         print(f"check_bench_json: {path}: OK "
               f"({doc['scenario']}, {len(points)} points, "
@@ -82,12 +111,16 @@ def main():
     parser.add_argument("--require", action="append", default=[],
                         metavar="METRIC",
                         help="metric that must be present in every file")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="METRIC:FLOOR", type=parse_min_ratio,
+                        help="regression floor: every point reporting "
+                             "METRIC must have mean >= FLOOR")
     parser.add_argument("files", nargs="+", metavar="FILE")
     args = parser.parse_args()
 
     ok = True
     for path in args.files:
-        ok = check_file(path, args.require) and ok
+        ok = check_file(path, args.require, args.min_ratio) and ok
     return 0 if ok else 1
 
 

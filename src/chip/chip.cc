@@ -8,11 +8,22 @@ namespace ich
 {
 
 Chip::Chip(EventQueue &eq, Rng &rng, const ChipConfig &cfg)
-    : eq_(eq), rng_(rng), cfg_(cfg), thermal_(cfg.thermal)
+    : eq_(eq), rng_(rng), cfg_(cfg), ticker_(eq), thermal_(cfg.thermal)
 {
     for (CoreId i = 0; i < cfg_.numCores; ++i)
         cores_.push_back(std::make_unique<Core>(*this, i, cfg_.core));
-    pmu_ = std::make_unique<CentralPmu>(eq_, rng_, cfg_.pmu, *this);
+    pmu_ = std::make_unique<CentralPmu>(eq_, rng_, ticker_, cfg_.pmu,
+                                        *this);
+    thermalTick_.chip = this;
+    if (cfg_.thermal.sampleInterval > 0)
+        ticker_.add(thermalTick_,
+                    TickRate{cfg_.thermal.sampleInterval, 0, 0});
+}
+
+Chip::~Chip()
+{
+    if (cfg_.thermal.sampleInterval > 0)
+        ticker_.remove(thermalTick_);
 }
 
 Cycles

@@ -15,6 +15,7 @@
 
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "common/ticker.hh"
 #include "common/types.hh"
 #include "cpu/chip_api.hh"
 #include "cpu/core.hh"
@@ -41,6 +42,7 @@ class Chip : public ChipApi, public PmuHooks
 {
   public:
     Chip(EventQueue &eq, Rng &rng, const ChipConfig &cfg);
+    ~Chip();
 
     Chip(const Chip &) = delete;
     Chip &operator=(const Chip &) = delete;
@@ -52,6 +54,9 @@ class Chip : public ChipApi, public PmuHooks
     const Core &core(CoreId i) const { return *cores_.at(i); }
     CentralPmu &pmu() { return *pmu_; }
     const CentralPmu &pmu() const { return *pmu_; }
+    /** Shared tick scheduler for all clocked components. */
+    Ticker &ticker() { return ticker_; }
+    const Ticker &ticker() const { return ticker_; }
     ThermalModel &thermal() { return thermal_; }
     const ChipConfig &config() const { return cfg_; }
     ///@}
@@ -91,12 +96,25 @@ class Chip : public ChipApi, public PmuHooks
     void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
 
   private:
+    /** Periodic Tj integration (thermal.sampleInterval > 0). */
+    struct ThermalTick final : Clocked {
+        Chip *chip = nullptr;
+        void
+        tick(Time now) override
+        {
+            chip->thermal_.update(now, chip->powerWatts());
+        }
+        const char *tickName() const override { return "thermal"; }
+    };
+
     EventQueue &eq_;
     Rng &rng_;
     ChipConfig cfg_;
+    Ticker ticker_; ///< declared before members that deregister in dtors
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<CentralPmu> pmu_;
     ThermalModel thermal_;
+    ThermalTick thermalTick_;
 };
 
 } // namespace ich

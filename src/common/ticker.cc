@@ -1,0 +1,222 @@
+#include "common/ticker.hh"
+
+#include <stdexcept>
+#include <string>
+
+#include "state/snapshot.hh"
+
+namespace ich
+{
+
+Ticker::~Ticker()
+{
+    // Pending group events capture raw Group pointers; never leave one
+    // behind in an EventQueue that may keep running.
+    for (auto &g : groups_)
+        if (g->event != EventQueue::kInvalidEvent)
+            eq_.deschedule(g->event);
+}
+
+Time
+Ticker::firstDueAfter(const TickRate &rate, Time now)
+{
+    if (rate.phase > now)
+        return rate.phase;
+    // Smallest phase + k*period strictly after now.
+    Time elapsed = now - rate.phase;
+    return rate.phase + (elapsed / rate.period + 1) * rate.period;
+}
+
+Ticker::Group &
+Ticker::groupFor(TickRate rate)
+{
+    for (auto &g : groups_)
+        if (g->rate == rate)
+            return *g;
+    groups_.push_back(std::make_unique<Group>());
+    groups_.back()->rate = rate;
+    return *groups_.back();
+}
+
+void
+Ticker::add(Clocked &c, TickRate rate, Ownership own)
+{
+    if (rate.period == 0)
+        throw std::invalid_argument("Ticker: zero tick period");
+    Group &g = groupFor(rate);
+    bool was_idle = g.event == EventQueue::kInvalidEvent;
+    g.members.push_back(Member{&c, own, firstDueAfter(rate, eq_.now())});
+    // An idle group arms on its first member; while the group is
+    // dispatching, fireGroup() re-arms after the pass instead.
+    if (was_idle && !g.dispatching) {
+        g.nextDue = firstDueAfter(rate, eq_.now());
+        armGroup(g);
+    }
+}
+
+void
+Ticker::remove(Clocked &c)
+{
+    for (auto &gp : groups_) {
+        Group &g = *gp;
+        for (std::size_t i = 0; i < g.members.size(); ++i) {
+            if (g.members[i].clocked != &c)
+                continue;
+            if (g.dispatching) {
+                g.members[i].clocked = nullptr; // skipped for this pass
+                g.hasHoles = true;
+            } else {
+                g.members.erase(g.members.begin() +
+                                static_cast<std::ptrdiff_t>(i));
+                if (g.members.empty()) {
+                    if (g.event != EventQueue::kInvalidEvent)
+                        eq_.deschedule(g.event);
+                    // Drop the group: lingering empty groups would
+                    // desync the save/restore group-count match.
+                    pruneGroup(&g);
+                }
+            }
+            return;
+        }
+    }
+}
+
+bool
+Ticker::contains(const Clocked &c) const
+{
+    for (const auto &g : groups_)
+        for (const Member &m : g->members)
+            if (m.clocked == &c)
+                return true;
+    return false;
+}
+
+std::size_t
+Ticker::memberCount() const
+{
+    std::size_t n = 0;
+    for (const auto &g : groups_)
+        for (const Member &m : g->members)
+            if (m.clocked != nullptr)
+                ++n;
+    return n;
+}
+
+void
+Ticker::armGroup(Group &g)
+{
+    Group *gp = &g;
+    g.event = eq_.scheduleChecked(
+        g.nextDue, [this, gp] { fireGroup(*gp); }, g.rate.priority);
+}
+
+void
+Ticker::fireGroup(Group &g)
+{
+    g.event = EventQueue::kInvalidEvent;
+    g.dispatching = true;
+    Time now = eq_.now();
+    // Fixed bound: members added during the pass tick next period.
+    const std::size_t count = g.members.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Member &m = g.members[i];
+        if (m.clocked != nullptr && now >= m.minDue) {
+            ++ticks_;
+            m.clocked->tick(now);
+        }
+    }
+    g.dispatching = false;
+    if (g.hasHoles) {
+        g.hasHoles = false;
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < g.members.size(); ++i)
+            if (g.members[i].clocked != nullptr)
+                g.members[w++] = g.members[i];
+        g.members.resize(w);
+    }
+    if (g.members.empty()) {
+        pruneGroup(&g); // frees g — must be the last use
+        return;
+    }
+    g.nextDue += g.rate.period;
+    armGroup(g);
+}
+
+void
+Ticker::pruneGroup(Group *g)
+{
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+        if (it->get() == g) {
+            groups_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+Ticker::saveState(state::SaveContext &ctx) const
+{
+    state::ArchiveWriter &w = ctx.w();
+    w.putU64(ticks_);
+    w.putU32(static_cast<std::uint32_t>(groups_.size()));
+    for (const auto &gp : groups_) {
+        const Group &g = *gp;
+        std::uint32_t live = 0;
+        for (const Member &m : g.members) {
+            if (m.clocked == nullptr)
+                continue;
+            if (m.own == Ownership::kTransient)
+                throw state::ArchiveError(
+                    "Ticker: transient member '" +
+                    std::string(m.clocked->tickName()) +
+                    "' still registered — detach samplers before "
+                    "snapshotting");
+            ++live;
+        }
+        w.putU64(g.rate.period);
+        w.putU64(g.rate.phase);
+        w.putI32(g.rate.priority);
+        w.putU32(live);
+        w.putU64(g.nextDue);
+        ctx.putEvent(g.event);
+    }
+}
+
+void
+Ticker::restoreState(state::SectionReader &r, state::RestoreContext &ctx)
+{
+    ticks_ = r.getU64();
+    if (r.getU32() != groups_.size())
+        throw state::ArchiveError(
+            "Ticker: rate-group count mismatch — persistent members must "
+            "re-register at construction");
+    for (auto &gp : groups_) {
+        Group &g = *gp;
+        TickRate rate;
+        rate.period = r.getU64();
+        rate.phase = r.getU64();
+        rate.priority = r.getI32();
+        if (!(rate == g.rate))
+            throw state::ArchiveError("Ticker: rate-group key mismatch");
+        if (r.getU32() != g.members.size())
+            throw state::ArchiveError(
+                "Ticker: member count mismatch in a rate group");
+        g.nextDue = r.getU64();
+        // Drop the event armed during construction; the saved group
+        // clock re-arms at its original absolute time (deferred and
+        // sequence-ordered by the RestoreContext).
+        if (g.event != EventQueue::kInvalidEvent) {
+            eq_.deschedule(g.event);
+            g.event = EventQueue::kInvalidEvent;
+        }
+        Group *raw = &g;
+        ctx.getEvent(r, [this, raw](EventQueue &eq, Time when,
+                                    int priority) {
+            raw->nextDue = when;
+            raw->event = eq.schedule(
+                when, [this, raw] { fireGroup(*raw); }, priority);
+        });
+    }
+}
+
+} // namespace ich

@@ -77,7 +77,7 @@ void
 Core::restoreState(state::SectionReader &r, state::RestoreContext &ctx)
 {
     throttle_.restoreState(r);
-    avxGate_.restoreState(r, ctx);
+    avxGate_.restoreState(r);
     for (auto &t : threads_)
         t->restoreState(r, ctx);
 }

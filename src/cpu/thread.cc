@@ -155,7 +155,9 @@ HwThread::enterStep()
                 ? static_cast<double>(loop->recordEveryIterations)
                 : 0.0;
         if (traits(loop->kernel.cls).usesAvxUnit) {
-            Time wake = core_.avxGate().open();
+            // Pinned for the whole kernel: the idle-close countdown must
+            // run from the kernel's end, not its first instruction.
+            Time wake = core_.avxGate().beginUse();
             if (wake > 0)
                 stallUntil_ = std::max(stallUntil_, now + wake);
         }
@@ -173,7 +175,7 @@ void
 HwThread::finishLoopStep(const LoopStep &step)
 {
     if (traits(step.kernel.cls).usesAvxUnit)
-        core_.avxGate().touch();
+        core_.avxGate().endUse();
     chip_.kernelEnded(coreId_, smtIdx_, step.kernel.cls);
 }
 

@@ -5,11 +5,16 @@
 namespace ich
 {
 
-Daq::Daq(EventQueue &eq, Time sample_interval)
-    : eq_(eq), interval_(sample_interval)
+Daq::Daq(Ticker &ticker, Time sample_interval)
+    : ticker_(ticker), interval_(sample_interval)
 {
     if (sample_interval == 0)
         throw std::invalid_argument("Daq: zero sample interval");
+}
+
+Daq::~Daq()
+{
+    stop();
 }
 
 int
@@ -33,32 +38,43 @@ void
 Daq::start(Time until)
 {
     until_ = until;
-    if (!running_) {
-        running_ = true;
-        sample();
-    }
+    if (running_)
+        return;
+    Time now = ticker_.eq().now();
+    if (now > until_)
+        return;
+    running_ = true;
+    sampleNow();
+    // Phase-align the rate group so ticks land on t0 + k*interval.
+    ticker_.add(*this, TickRate{interval_, now % interval_, 0},
+                Ticker::Ownership::kTransient);
 }
 
 void
 Daq::stop()
 {
+    if (!running_)
+        return;
     running_ = false;
+    ticker_.remove(*this);
 }
 
 void
-Daq::sample()
+Daq::tick(Time now)
 {
-    if (!running_)
-        return;
-    Time now = eq_.now();
     if (now > until_) {
-        running_ = false;
+        stop();
         return;
     }
+    sampleNow();
+}
+
+void
+Daq::sampleNow()
+{
+    Time now = ticker_.eq().now();
     for (std::size_t i = 0; i < probes_.size(); ++i)
         traces_[i]->add(now, probes_[i]());
-    // Fires once per sample interval for the whole trace.
-    eq_.scheduleChecked(now + interval_, [this] { sample(); });
 }
 
 } // namespace ich

@@ -4,6 +4,11 @@
  * digital signals (Vcc, Icc, frequency, temperature, IPC), standing in
  * for the NI-DAQ card + sense resistors of Fig. 5. Sampling rate is
  * configurable up to the NI-PCIe-6376's 3.5 MS/s.
+ *
+ * Sampling rides the shared Ticker as a *transient* member: one
+ * rate-group event covers every channel (and any other component at the
+ * same rate), and a Daq left attached at a snapshot point fails the
+ * save loudly — samplers are measurement equipment, not chip state.
  */
 
 #ifndef ICH_MEASURE_DAQ_HH
@@ -14,7 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "common/event_queue.hh"
+#include "common/ticker.hh"
 #include "common/types.hh"
 #include "measure/trace.hh"
 
@@ -22,12 +27,13 @@ namespace ich
 {
 
 /** Multi-channel periodic sampler. */
-class Daq
+class Daq : public Clocked
 {
   public:
     using Probe = std::function<double()>;
 
-    Daq(EventQueue &eq, Time sample_interval);
+    Daq(Ticker &ticker, Time sample_interval);
+    ~Daq() override;
 
     /** Register a probe; returns its channel index. */
     int addChannel(const std::string &name, Probe probe);
@@ -44,15 +50,21 @@ class Daq
     const Trace &trace(const std::string &name) const;
     int channels() const { return static_cast<int>(traces_.size()); }
 
+    /** @name Clocked */
+    ///@{
+    void tick(Time now) override;
+    const char *tickName() const override { return "daq"; }
+    ///@}
+
   private:
-    EventQueue &eq_;
+    Ticker &ticker_;
     Time interval_;
     Time until_ = 0;
     bool running_ = false;
     std::vector<Probe> probes_;
     std::vector<std::unique_ptr<Trace>> traces_;
 
-    void sample();
+    void sampleNow();
 };
 
 } // namespace ich

@@ -10,20 +10,59 @@ PowerGate::PowerGate(EventQueue &eq, Rng &rng, const PowerGateConfig &cfg)
 {
 }
 
+bool
+PowerGate::closed() const
+{
+    if (!cfg_.present)
+        return false;
+    if (closed_)
+        return true;
+    return users_ == 0 && eq_.now() >= lastUse_ + cfg_.idleCloseDelay;
+}
+
+void
+PowerGate::latchIdleClose()
+{
+    // Order matters: a lapsed idle window closed the gate *before* the
+    // mutation now being applied, exactly when the old timer event
+    // would have fired.
+    if (cfg_.present && !closed_ && users_ == 0 &&
+        eq_.now() >= lastUse_ + cfg_.idleCloseDelay)
+        closed_ = true;
+}
+
 Time
 PowerGate::open()
 {
     if (!cfg_.present)
         return 0;
+    latchIdleClose();
     lastUse_ = eq_.now();
-    if (!closed_) {
-        scheduleClose();
+    if (!closed_)
         return 0;
-    }
     closed_ = false;
     ++opens_;
-    scheduleClose();
     return rng_.uniformInt(cfg_.wakeLatencyMin, cfg_.wakeLatencyMax);
+}
+
+Time
+PowerGate::beginUse()
+{
+    Time stall = open();
+    if (cfg_.present)
+        ++users_;
+    return stall;
+}
+
+void
+PowerGate::endUse()
+{
+    if (!cfg_.present)
+        return;
+    if (users_ > 0)
+        --users_;
+    // Idle countdown runs from the end of use, not its beginning.
+    lastUse_ = eq_.now();
 }
 
 void
@@ -31,53 +70,27 @@ PowerGate::touch()
 {
     if (!cfg_.present)
         return;
-    lastUse_ = eq_.now();
+    latchIdleClose();
     if (!closed_)
-        scheduleClose();
-}
-
-void
-PowerGate::scheduleClose()
-{
-    if (closeEvent_ != EventQueue::kInvalidEvent)
-        eq_.deschedule(closeEvent_);
-    // Rescheduled on every gated-domain touch.
-    closeEvent_ = eq_.scheduleChecked(lastUse_ + cfg_.idleCloseDelay,
-                                      [this] { maybeClose(); });
+        lastUse_ = eq_.now();
 }
 
 void
 PowerGate::saveState(state::SaveContext &ctx) const
 {
     ctx.w().putBool(closed_);
+    ctx.w().putI32(users_);
     ctx.w().putU64(lastUse_);
     ctx.w().putU64(opens_);
-    ctx.putEvent(closeEvent_);
 }
 
 void
-PowerGate::restoreState(state::SectionReader &r,
-                        state::RestoreContext &ctx)
+PowerGate::restoreState(state::SectionReader &r)
 {
     closed_ = r.getBool();
+    users_ = r.getI32();
     lastUse_ = r.getU64();
     opens_ = r.getU64();
-    ctx.getEvent(r, [this](EventQueue &eq, Time when, int priority) {
-        closeEvent_ =
-            eq.schedule(when, [this] { maybeClose(); }, priority);
-    });
-}
-
-void
-PowerGate::maybeClose()
-{
-    closeEvent_ = EventQueue::kInvalidEvent;
-    if (closed_)
-        return;
-    if (eq_.now() >= lastUse_ + cfg_.idleCloseDelay)
-        closed_ = true;
-    else
-        scheduleClose();
 }
 
 } // namespace ich

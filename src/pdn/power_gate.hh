@@ -7,6 +7,17 @@
  * Key Conclusion 3: the AVX power gate accounts for only ~0.1% (8–15 ns)
  * of the multi-microsecond throttling period — modeled here as a one-time
  * stall charged to the first PHI after the gate closed.
+ *
+ * The idle-close countdown is evaluated lazily (closed-form from the
+ * last-use timestamp) instead of via an event-queue timer, so touching
+ * the gate on every PHI costs zero heap operations and the gate owns no
+ * pending events at all.
+ *
+ * Long-running kernels pin the gate with beginUse()/endUse(): the idle
+ * countdown starts only when the last user releases the unit. The older
+ * open()/touch()-only protocol measured idleness from the *start* of a
+ * use period, so a kernel longer than idleCloseDelay had its gate closed
+ * underneath it and the next kernel was charged a spurious wake stall.
  */
 
 #ifndef ICH_PDN_POWER_GATE_HH
@@ -36,47 +47,57 @@ struct PowerGateConfig {
 /**
  * One gated power domain (e.g. a core's AVX unit).
  *
- * Usage: before executing an instruction needing the domain, call
- * wakeLatency(); a nonzero result is a stall the thread must absorb while
- * the gate opens. touch() marks use so the idle-close timer restarts.
+ * Usage: a kernel that executes on the domain brackets its execution
+ * with beginUse() (absorbing any returned wake-up stall) and endUse().
+ * The fire-and-forget protocol — open() for a one-shot use, touch() to
+ * bump the idle countdown — remains for short uses and tests.
  */
 class PowerGate
 {
   public:
     PowerGate(EventQueue &eq, Rng &rng, const PowerGateConfig &cfg);
 
-    /** True if the domain is currently gated off. */
-    bool closed() const { return closed_; }
+    /** True if the domain is currently gated off (lazily evaluated). */
+    bool closed() const;
 
     /**
-     * Open the gate if closed.
+     * Open the gate if closed; the idle countdown restarts now.
      * @return the wake-up stall to charge (0 if already open or absent).
      */
     Time open();
 
-    /** Record use of the domain (defers the idle close). */
+    /** open() + pin: the gate cannot idle-close while users remain. */
+    Time beginUse();
+
+    /** Release a beginUse() pin; the idle countdown restarts now. */
+    void endUse();
+
+    /** Record a momentary use of the domain (defers the idle close). */
     void touch();
+
+    /** Active beginUse() pins (tests). */
+    int users() const { return users_; }
 
     /** Number of open transitions (stats/tests). */
     std::uint64_t openCount() const { return opens_; }
 
     const PowerGateConfig &config() const { return cfg_; }
 
-    /** Snapshot hooks; the idle-close timer re-arms on restore. */
+    /** Snapshot hooks (pure state — the gate owns no pending events). */
     void saveState(state::SaveContext &ctx) const;
-    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
+    void restoreState(state::SectionReader &r);
 
   private:
     EventQueue &eq_;
     Rng &rng_;
     PowerGateConfig cfg_;
-    bool closed_;
+    bool closed_; ///< latched as of the last mutation; see closed()
+    int users_ = 0;
     Time lastUse_ = 0;
-    EventId closeEvent_ = EventQueue::kInvalidEvent;
     std::uint64_t opens_ = 0;
 
-    void scheduleClose();
-    void maybeClose();
+    /** Latch a lapsed idle close before mutating lastUse_/users_. */
+    void latchIdleClose();
 };
 
 } // namespace ich

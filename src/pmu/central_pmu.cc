@@ -14,14 +14,18 @@ namespace
 constexpr double kGhzEps = 1e-6;
 } // namespace
 
-CentralPmu::CentralPmu(EventQueue &eq, Rng &rng, const PmuConfig &cfg,
-                       PmuHooks &hooks)
-    : eq_(eq), rng_(rng), cfg_(cfg), hooks_(hooks),
+CentralPmu::CentralPmu(EventQueue &eq, Rng &rng, Ticker &ticker,
+                       const PmuConfig &cfg, PmuHooks &hooks)
+    : eq_(eq), rng_(rng), ticker_(ticker), cfg_(cfg), hooks_(hooks),
       gbModel_(LoadLine(cfg.rllOhm), cfg.vf),
       powerModel_(gbModel_, cfg.leakagePerCoreAmps, hooks.numCores()),
       governor_(cfg.governor)
 {
     coreState_.assign(hooks_.numCores(), CoreState{});
+    governorEval_.pmu = this;
+    if (cfg_.governor.evalInterval > 0)
+        ticker_.add(governorEval_,
+                    TickRate{cfg_.governor.evalInterval, 0, 0});
 
     // Initial frequency: governor request clipped by limits at idle.
     double desired = governor_.requestGhz(cfg_.pstate.minGhz,
@@ -55,7 +59,7 @@ CentralPmu::CentralPmu(EventQueue &eq, Rng &rng, const PmuConfig &cfg,
     }
 
     powerLimiter_ = std::make_unique<PowerLimiter>(
-        eq_, cfg_.powerLimit, cfg_.pstate.binsGhz,
+        ticker_, cfg_.powerLimit, cfg_.pstate.binsGhz,
         [this] { return averagePowerSinceProbe(); },
         [this] { reevaluateFreq(); },
         [this] {
@@ -69,6 +73,12 @@ CentralPmu::CentralPmu(EventQueue &eq, Rng &rng, const PmuConfig &cfg,
                     return *it;
             return bins.front();
         });
+}
+
+CentralPmu::~CentralPmu()
+{
+    if (cfg_.governor.evalInterval > 0)
+        ticker_.remove(governorEval_);
 }
 
 int
@@ -202,20 +212,20 @@ void
 CentralPmu::scheduleDecay(CoreId core)
 {
     auto &cs = coreState_.at(core);
-    if (cs.decayEvent != EventQueue::kInvalidEvent)
-        eq_.deschedule(cs.decayEvent);
+    // lastPhi only moves forward, so a pending check always fires no
+    // later than the current deadline; decayCheck() re-checks and
+    // re-arms. Extending the hysteresis window on every PHI is
+    // therefore free — no deschedule/schedule pair per PHI.
     Time when = std::max(eq_.now() + fromMicroseconds(1),
                          cs.lastPhi + cfg_.resetTime);
-    // Rescheduled on every PHI start/stop; must not allocate.
-    cs.decayEvent =
-        eq_.scheduleChecked(when, [this, core] { decayCheck(core); });
+    cs.decay.arm(eq_, when, [this, core] { decayCheck(core); });
 }
 
 void
 CentralPmu::decayCheck(CoreId core)
 {
     auto &cs = coreState_.at(core);
-    cs.decayEvent = EventQueue::kInvalidEvent;
+    cs.decay.fired();
     if (eq_.now() < cs.lastPhi + cfg_.resetTime) {
         scheduleDecay(core);
         return;
@@ -388,7 +398,7 @@ CentralPmu::saveState(state::SaveContext &ctx) const
         w.putI32(cs.licenseLevel);
         w.putBool(cs.throttledForV);
         w.putU64(cs.lastPhi);
-        ctx.putEvent(cs.decayEvent);
+        ctx.putEvent(cs.decay.id());
     }
     w.putU32(static_cast<std::uint32_t>(svids_.size()));
     for (const auto &svid : svids_)
@@ -425,19 +435,19 @@ CentralPmu::restoreState(state::SectionReader &r,
         cs.licenseLevel = r.getI32();
         cs.throttledForV = r.getBool();
         cs.lastPhi = r.getU64();
-        cs.decayEvent = EventQueue::kInvalidEvent;
+        cs.decay = CoalescedTimer{};
         CoreId core = static_cast<CoreId>(c);
         ctx.getEvent(r, [this, core](EventQueue &eq, Time when,
                                      int priority) {
-            coreState_[core].decayEvent = eq.schedule(
-                when, [this, core] { decayCheck(core); }, priority);
+            coreState_[core].decay.adopt(eq.schedule(
+                when, [this, core] { decayCheck(core); }, priority));
         });
     }
     if (r.getU32() != svids_.size())
         throw state::ArchiveError("CentralPmu: VR domain count mismatch");
     for (auto &svid : svids_)
         svid->restoreState(r, ctx);
-    powerLimiter_->restoreState(r, ctx);
+    powerLimiter_->restoreState(r);
 }
 
 void

@@ -27,6 +27,7 @@
 
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "common/ticker.hh"
 #include "common/types.hh"
 #include "cpu/throttle_unit.hh"
 #include "isa/inst_class.hh"
@@ -82,8 +83,9 @@ struct PmuConfig {
 class CentralPmu
 {
   public:
-    CentralPmu(EventQueue &eq, Rng &rng, const PmuConfig &cfg,
-               PmuHooks &hooks);
+    CentralPmu(EventQueue &eq, Rng &rng, Ticker &ticker,
+               const PmuConfig &cfg, PmuHooks &hooks);
+    ~CentralPmu();
 
     CentralPmu(const CentralPmu &) = delete;
     CentralPmu &operator=(const CentralPmu &) = delete;
@@ -134,9 +136,10 @@ class CentralPmu
      * Snapshot hooks. Legal only at a quiesce point: no P-state
      * transition in flight, every SVID bus idle, no pending governor
      * write (writeGovernor's apply event is untracked and makes
-     * snapshot() fail its event census). Guardband decay timers, the
-     * pending upclock and the RAPL tick re-arm at their original
-     * absolute times on restore.
+     * snapshot() fail its event census). Guardband decay timers and the
+     * pending upclock re-arm at their original absolute times on
+     * restore; the RAPL window and periodic governor evaluation live in
+     * the Ticker's rate-group clocks (their own snapshot section).
      */
     void saveState(state::SaveContext &ctx) const;
     void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
@@ -155,13 +158,32 @@ class CentralPmu
         int licenseLevel = 0;
         bool throttledForV = false;
         Time lastPhi = 0;
-        EventId decayEvent = EventQueue::kInvalidEvent;
+        /**
+         * Deadline-coalesced reset-time check: a PHI extending the
+         * hysteresis deadline costs no heap operations while an earlier
+         * check is pending — decayCheck() re-checks and re-arms.
+         */
+        CoalescedTimer decay;
+    };
+
+    /** Ondemand-style periodic governor/P-state evaluation (Ticker). */
+    struct PeriodicEval final : Clocked {
+        CentralPmu *pmu = nullptr;
+        void
+        tick(Time) override
+        {
+            pmu->accrueEnergy();
+            pmu->reevaluateFreq();
+        }
+        const char *tickName() const override { return "governor"; }
     };
 
     EventQueue &eq_;
     Rng &rng_;
+    Ticker &ticker_;
     PmuConfig cfg_;
     PmuHooks &hooks_;
+    PeriodicEval governorEval_;
 
     GuardbandModel gbModel_;
     ChipPowerModel powerModel_;

@@ -25,6 +25,12 @@ struct GovernorConfig {
     double userspaceGhz = 1.4;
     /** Software path latency for a policy/frequency write. */
     Time applyLatency = fromMicroseconds(50);
+    /**
+     * Periodic governor/P-state re-evaluation interval (ondemand-style
+     * sampling), driven by the chip Ticker. 0 keeps the governor purely
+     * event-driven — the default, matching the paper's pinned setups.
+     */
+    Time evalInterval = 0;
 };
 
 /** Resolves the governor's requested frequency. */

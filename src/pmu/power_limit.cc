@@ -8,10 +8,10 @@
 namespace ich
 {
 
-PowerLimiter::PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
+PowerLimiter::PowerLimiter(Ticker &ticker, const PowerLimitConfig &cfg,
                            std::vector<double> bins_ghz, PowerProbe probe,
                            CapChanged on_change, SetpointProbe setpoint)
-    : eq_(eq), cfg_(cfg), binsGhz_(std::move(bins_ghz)),
+    : ticker_(ticker), cfg_(cfg), binsGhz_(std::move(bins_ghz)),
       probe_(std::move(probe)), onChange_(std::move(on_change)),
       setpoint_(std::move(setpoint))
 {
@@ -19,8 +19,19 @@ PowerLimiter::PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
         throw std::invalid_argument("PowerLimiter: no frequency bins");
     capIdx_ = binsGhz_.size() - 1;
     if (cfg_.enabled)
-        evalEvent_ =
-            eq_.scheduleIn(cfg_.evalInterval, [this] { evaluate(); });
+        ticker_.add(*this, TickRate{cfg_.evalInterval, 0, 0});
+}
+
+PowerLimiter::~PowerLimiter()
+{
+    if (cfg_.enabled)
+        ticker_.remove(*this);
+}
+
+void
+PowerLimiter::tick(Time)
+{
+    evaluate();
 }
 
 void
@@ -28,25 +39,15 @@ PowerLimiter::saveState(state::SaveContext &ctx) const
 {
     ctx.w().putU64(capIdx_);
     ctx.w().putU64(evals_);
-    ctx.putEvent(evalEvent_);
 }
 
 void
-PowerLimiter::restoreState(state::SectionReader &r,
-                           state::RestoreContext &ctx)
+PowerLimiter::restoreState(state::SectionReader &r)
 {
-    // Drop the evaluation scheduled at construction; the saved one
-    // re-arms at its original absolute time.
-    eq_.deschedule(evalEvent_);
-    evalEvent_ = EventQueue::kInvalidEvent;
     capIdx_ = static_cast<std::size_t>(r.getU64());
     if (capIdx_ >= binsGhz_.size())
         throw state::ArchiveError("PowerLimiter: cap index out of range");
     evals_ = r.getU64();
-    ctx.getEvent(r, [this](EventQueue &eq, Time when, int priority) {
-        evalEvent_ =
-            eq.schedule(when, [this] { evaluate(); }, priority);
-    });
 }
 
 double
@@ -88,9 +89,6 @@ PowerLimiter::evaluate()
     }
     if (capIdx_ != old_idx && onChange_)
         onChange_();
-    // Periodic RAPL-window evaluation for the whole run.
-    evalEvent_ =
-        eq_.scheduleInChecked(cfg_.evalInterval, [this] { evaluate(); });
 }
 
 } // namespace ich

@@ -7,6 +7,10 @@
  * the cap one bin. Its multi-millisecond reaction time is the mechanism
  * the PowerT baseline channel (Khatamifard et al., HPCA'19) modulates.
  * Disabled by default — IChannels itself does not depend on it.
+ *
+ * The evaluation window is driven by the shared Ticker (one rate-group
+ * event instead of a self-rescheduled event per window), so the RAPL
+ * tick coalesces with any other component at the same rate.
  */
 
 #ifndef ICH_PMU_POWER_LIMIT_HH
@@ -15,7 +19,7 @@
 #include <functional>
 #include <vector>
 
-#include "common/event_queue.hh"
+#include "common/ticker.hh"
 #include "common/types.hh"
 #include "state/fwd.hh"
 
@@ -35,7 +39,7 @@ struct PowerLimitConfig {
  * Periodic controller. The owner supplies a callback returning average
  * power since the previous evaluation and is notified when the cap moves.
  */
-class PowerLimiter
+class PowerLimiter : public Clocked
 {
   public:
     using PowerProbe = std::function<double()>;
@@ -43,10 +47,11 @@ class PowerLimiter
     /** Highest frequency whose *projected* power fits the budget. */
     using SetpointProbe = std::function<double()>;
 
-    PowerLimiter(EventQueue &eq, const PowerLimitConfig &cfg,
+    PowerLimiter(Ticker &ticker, const PowerLimitConfig &cfg,
                  std::vector<double> bins_ghz, PowerProbe probe,
                  CapChanged on_change,
                  SetpointProbe setpoint = nullptr);
+    ~PowerLimiter() override;
 
     /** Current frequency cap, GHz (top bin when unconstrained). */
     double capGhz() const;
@@ -56,12 +61,21 @@ class PowerLimiter
     /** Number of completed evaluations (tests). */
     std::uint64_t evaluations() const { return evals_; }
 
-    /** Snapshot hooks; the periodic evaluation re-arms on restore. */
+    /** @name Clocked */
+    ///@{
+    void tick(Time now) override;
+    const char *tickName() const override { return "rapl"; }
+    ///@}
+
+    /**
+     * Snapshot hooks: controller state only — the evaluation clock
+     * lives in the Ticker's rate-group section.
+     */
     void saveState(state::SaveContext &ctx) const;
-    void restoreState(state::SectionReader &r, state::RestoreContext &ctx);
+    void restoreState(state::SectionReader &r);
 
   private:
-    EventQueue &eq_;
+    Ticker &ticker_;
     PowerLimitConfig cfg_;
     std::vector<double> binsGhz_;
     PowerProbe probe_;
@@ -69,7 +83,6 @@ class PowerLimiter
     SetpointProbe setpoint_;
     std::size_t capIdx_;
     std::uint64_t evals_ = 0;
-    EventId evalEvent_ = EventQueue::kInvalidEvent;
 
     void evaluate();
     std::size_t indexAtOrBelow(double ghz) const;

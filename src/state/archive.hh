@@ -44,7 +44,10 @@ using Buffer = std::vector<std::uint8_t>;
 
 /** "ICHS" */
 constexpr std::uint32_t kArchiveMagic = 0x53484349u;
-constexpr std::uint32_t kArchiveVersion = 1;
+constexpr std::uint32_t kArchiveVersion = 2; ///< v2: Ticker rate-group
+                                             ///< section + lazy-decay
+                                             ///< PowerGate/PowerLimiter
+                                             ///< layouts
 
 /** CRC-32 (IEEE 802.3 polynomial) of @p data. */
 std::uint32_t crc32(const std::uint8_t *data, std::size_t size);

@@ -100,6 +100,7 @@ putChipConfig(ArchiveWriter &w, const ChipConfig &cfg)
     w.putU8(static_cast<std::uint8_t>(pmu.governor.policy));
     w.putF64(pmu.governor.userspaceGhz);
     w.putU64(pmu.governor.applyLatency);
+    w.putU64(pmu.governor.evalInterval);
     w.putBool(pmu.powerLimit.enabled);
     w.putF64(pmu.powerLimit.limitWatts);
     w.putU64(pmu.powerLimit.evalInterval);
@@ -120,6 +121,7 @@ putChipConfig(ArchiveWriter &w, const ChipConfig &cfg)
     w.putF64(th.tjMaxCelsius);
     w.putF64(th.rThermal);
     w.putF64(th.cThermal);
+    w.putU64(th.sampleInterval);
 }
 
 ChipConfig
@@ -158,6 +160,7 @@ getChipConfig(SectionReader &r)
     pmu.governor.policy = static_cast<GovernorPolicy>(r.getU8());
     pmu.governor.userspaceGhz = r.getF64();
     pmu.governor.applyLatency = r.getU64();
+    pmu.governor.evalInterval = r.getU64();
     pmu.powerLimit.enabled = r.getBool();
     pmu.powerLimit.limitWatts = r.getF64();
     pmu.powerLimit.evalInterval = r.getU64();
@@ -178,6 +181,7 @@ getChipConfig(SectionReader &r)
     th.tjMaxCelsius = r.getF64();
     th.rThermal = r.getF64();
     th.cThermal = r.getF64();
+    th.sampleInterval = r.getU64();
     return cfg;
 }
 
@@ -253,6 +257,9 @@ snapshot(Simulation &sim)
     w.beginSection("pmu");
     sim.chip().pmu().saveState(ctx);
     w.endSection();
+    w.beginSection("ticker");
+    sim.chip().ticker().saveState(ctx);
+    w.endSection();
 
     // Event census: every live event must belong to a component that
     // re-arms it on restore. A leftover NoiseInjector/PhiApp/Daq or a
@@ -290,6 +297,8 @@ restore(const Buffer &buf)
     sim->chip().restoreState(chip, ctx);
     SectionReader pmu = archive.open("pmu");
     sim->chip().pmu().restoreState(pmu, ctx);
+    SectionReader ticker = archive.open("ticker");
+    sim->chip().ticker().restoreState(ticker, ctx);
     ctx.finish();
 
     if (sim->eq().size() != ctx.rearmed())

@@ -6,10 +6,17 @@
  * to completion (or not started), no P-state transition is in flight,
  * and the PDN is settled (no SVID transaction queued or ramping). At
  * such a point the only live events are periodic housekeeping —
- * guardband decay checks, power-gate idle-close timers, the pending
- * upclock, the RAPL evaluation tick — and every one of them is owned by
- * a component that can *re-arm* it from its own serialized state. No
- * closure is ever written to the archive.
+ * guardband decay checks, the pending upclock, and the Ticker's
+ * rate-group events (RAPL window, periodic governor evaluation,
+ * thermal sampling) — and every one of them is owned by a component
+ * that can *re-arm* it from its own serialized state. Ticker group
+ * clocks are part of the snapshot: persistent Clocked members
+ * re-register during construction and each group re-arms at its saved
+ * absolute time; transient members (Daq samplers) must be detached
+ * first or the save throws. Purely lazy state — power-gate idle
+ * closes, thermal integration, perf-counter accrual — carries only its
+ * timestamps and needs no events at all. No closure is ever written to
+ * the archive.
  *
  * The contract for component authors (see EXPERIMENTS.md "Snapshots"):
  *

@@ -30,6 +30,14 @@ struct ThermalConfig {
     double rThermal = 1.4;
     /** Thermal capacitance, J/°C (sets the multi-second time constant). */
     double cThermal = 2.0;
+    /**
+     * Periodic Tj update interval, driven by the chip Ticker. 0 (the
+     * default) keeps the model purely lazy: closed-form integration on
+     * read, assuming the power seen at the read was constant since the
+     * previous one. A nonzero interval bounds that piecewise-constant
+     * assumption for workloads that sample temperature sparsely.
+     */
+    Time sampleInterval = 0;
 };
 
 /** One thermal node driven by piecewise-constant power. */

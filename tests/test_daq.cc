@@ -18,13 +18,15 @@ using test::quietChip;
 TEST(Daq, RejectsZeroInterval)
 {
     EventQueue eq;
-    EXPECT_THROW(Daq(eq, 0), std::invalid_argument);
+    Ticker ticker(eq);
+    EXPECT_THROW(Daq(ticker, 0), std::invalid_argument);
 }
 
 TEST(Daq, SamplesAtRequestedRate)
 {
     EventQueue eq;
-    Daq daq(eq, fromMicroseconds(10));
+    Ticker ticker(eq);
+    Daq daq(ticker, fromMicroseconds(10));
     int ch = daq.addChannel("const", [] { return 1.5; });
     daq.start(fromMicroseconds(100));
     eq.runUntil(fromMicroseconds(200));
@@ -37,7 +39,8 @@ TEST(Daq, SamplesAtRequestedRate)
 TEST(Daq, MultiChannelSampling)
 {
     EventQueue eq;
-    Daq daq(eq, fromMicroseconds(5));
+    Ticker ticker(eq);
+    Daq daq(ticker, fromMicroseconds(5));
     daq.addChannel("a", [] { return 1.0; });
     daq.addChannel("b", [&eq] { return toMicroseconds(eq.now()); });
     daq.start(fromMicroseconds(50));
@@ -51,7 +54,8 @@ TEST(Daq, MultiChannelSampling)
 TEST(Daq, StopHaltsSampling)
 {
     EventQueue eq;
-    Daq daq(eq, fromMicroseconds(10));
+    Ticker ticker(eq);
+    Daq daq(ticker, fromMicroseconds(10));
     int ch = daq.addChannel("x", [] { return 0.0; });
     daq.start(fromSeconds(1));
     eq.runUntil(fromMicroseconds(35));
@@ -67,7 +71,7 @@ TEST(Daq, CapturesChipVoltageTransient)
     cfg.pmu.vr.commandJitter = 0;
     Simulation sim(cfg);
     Chip &chip = sim.chip();
-    Daq daq(sim.eq(), fromNanoseconds(286)); // ~3.5 MS/s (NI-PCIe-6376)
+    Daq daq(sim.chip().ticker(), fromNanoseconds(286)); // ~3.5 MS/s (NI-PCIe-6376)
     int ch = daq.addChannel("vcc", [&] { return chip.vccVolts(); });
     daq.start(fromMicroseconds(40));
     Program p;

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/event_queue.hh"
+#include "common/ticker.hh"
 #include "pmu/power_limit.hh"
 
 namespace ich
@@ -16,8 +17,9 @@ namespace
 TEST(PowerLimiter, DisabledNeverEvaluates)
 {
     EventQueue eq;
+    Ticker ticker(eq);
     PowerLimitConfig cfg; // enabled = false
-    PowerLimiter pl(eq, cfg, {1.0, 2.0, 3.0}, [] { return 100.0; },
+    PowerLimiter pl(ticker, cfg, {1.0, 2.0, 3.0}, [] { return 100.0; },
                     nullptr);
     eq.runUntil(fromMilliseconds(100));
     EXPECT_EQ(pl.evaluations(), 0u);
@@ -27,12 +29,13 @@ TEST(PowerLimiter, DisabledNeverEvaluates)
 TEST(PowerLimiter, OverBudgetLowersCapEachInterval)
 {
     EventQueue eq;
+    Ticker ticker(eq);
     PowerLimitConfig cfg;
     cfg.enabled = true;
     cfg.limitWatts = 10.0;
     cfg.evalInterval = fromMilliseconds(4);
     int changes = 0;
-    PowerLimiter pl(eq, cfg, {1.0, 2.0, 3.0}, [] { return 20.0; },
+    PowerLimiter pl(ticker, cfg, {1.0, 2.0, 3.0}, [] { return 20.0; },
                     [&] { ++changes; });
     eq.runUntil(fromMilliseconds(4.5));
     EXPECT_DOUBLE_EQ(pl.capGhz(), 2.0);
@@ -46,13 +49,14 @@ TEST(PowerLimiter, OverBudgetLowersCapEachInterval)
 TEST(PowerLimiter, UnderBudgetRaisesCapWithHysteresis)
 {
     EventQueue eq;
+    Ticker ticker(eq);
     PowerLimitConfig cfg;
     cfg.enabled = true;
     cfg.limitWatts = 10.0;
     cfg.evalInterval = fromMilliseconds(4);
     cfg.raiseBelowFraction = 0.85;
     double power = 20.0;
-    PowerLimiter pl(eq, cfg, {1.0, 2.0, 3.0}, [&] { return power; },
+    PowerLimiter pl(ticker, cfg, {1.0, 2.0, 3.0}, [&] { return power; },
                     nullptr);
     eq.runUntil(fromMilliseconds(4.5));
     ASSERT_DOUBLE_EQ(pl.capGhz(), 2.0);
@@ -69,7 +73,8 @@ TEST(PowerLimiter, UnderBudgetRaisesCapWithHysteresis)
 TEST(PowerLimiter, EmptyBinsThrow)
 {
     EventQueue eq;
-    EXPECT_THROW(PowerLimiter(eq, PowerLimitConfig{}, {}, nullptr,
+    Ticker ticker(eq);
+    EXPECT_THROW(PowerLimiter(ticker, PowerLimitConfig{}, {}, nullptr,
                               nullptr),
                  std::invalid_argument);
 }
