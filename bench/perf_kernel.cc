@@ -18,6 +18,26 @@
  *                every core — end-to-end events/sec including the
  *                PMU/PDN machinery.
  *
+ * A third scenario, "BENCH_record" (written to DIR/BENCH_record.json),
+ * measures analytic chunk-record batching in HwThread against the
+ * per-chunk event-driven path (kept in-tree behind
+ * HwThread::setLegacyChunkEvents as the measured baseline, the same
+ * embedded-baseline pattern speedup_vs_legacy uses for the queue):
+ *
+ *  - record_batch  uncontended chunked scalar loops on every core — the
+ *                  pure batching effect. Both modes run the identical
+ *                  simulation and the records, counters and end time
+ *                  are asserted byte-identical; reports
+ *                  record_speedup_vs_per_chunk (acceptance gate >= 1.3
+ *                  in CI, >= 2 locally).
+ *  - sim_record    the sim_run workload (PHI loops, OS noise, the full
+ *                  PMU/PDN machinery) both ways — byte-identity across
+ *                  throttle transitions and stalls, plus
+ *                  work_events_per_sec: per-chunk-baseline events
+ *                  retired per analytic-wall second, the successor
+ *                  metric to sim_run events/s now that the boundary
+ *                  events themselves are gone.
+ *
  * A second scenario, "BENCH_tick" (written to DIR/BENCH_tick.json),
  * measures the rate-grouped Ticker against the pre-refactor
  * one-event-per-component pattern on periodic-heavy workloads:
@@ -38,6 +58,7 @@
  * Workers are forced to 1: wall-clock metrics must not contend.
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -310,6 +331,127 @@ struct NewQueue : EventQueue {
     using EventId = ich::EventId;
 };
 
+// ----------------------------------------------------------- BENCH_record
+
+/** One BENCH_record simulation run (analytic or per-chunk baseline). */
+struct RecordRun {
+    double wallSec = 0.0;
+    std::uint64_t events = 0;
+    Time endTime = 0;
+    std::vector<Record> records;         ///< all threads, concatenated
+    std::vector<std::uint64_t> counters; ///< clk/inst/idq per thread
+};
+
+RecordRun
+recordRun(bool per_chunk, bool noisy, std::uint64_t iters,
+          std::uint64_t seed)
+{
+    ChipConfig cfg = bench::pinned(presets::cannonLake(), 3.0);
+    Simulation sim(cfg, seed);
+    int cores = sim.chip().numCores();
+    for (int c = 0; c < cores; ++c) {
+        HwThread &thr = sim.chip().core(c).thread(0);
+        thr.setLegacyChunkEvents(per_chunk);
+        Program p;
+        p.mark(0);
+        // PHI loops provoke guardband transitions + throttling in the
+        // noisy variant; the clean variant isolates pure batching.
+        p.loopChunked(noisy ? InstClass::k512Heavy : InstClass::kScalar64,
+                      iters, /*record_every=*/10, /*tag=*/1);
+        p.mark(2);
+        thr.setProgram(std::move(p));
+    }
+    std::unique_ptr<NoiseInjector> noise;
+    if (noisy) {
+        NoiseConfig ncfg;
+        ncfg.interruptRatePerSec = 50000.0;
+        ncfg.contextSwitchRatePerSec = 5000.0;
+        noise = std::make_unique<NoiseInjector>(sim.chip(), sim.rng(),
+                                                ncfg, /*core=*/0,
+                                                /*smt=*/0);
+        noise->start(fromSeconds(1.0));
+    }
+    for (int c = 0; c < cores; ++c)
+        sim.chip().core(c).thread(0).start();
+    auto t0 = std::chrono::steady_clock::now();
+    RecordRun r;
+    r.endTime = sim.run();
+    r.wallSec = secondsSince(t0);
+    r.events = sim.eq().executedEvents();
+    for (int c = 0; c < cores; ++c) {
+        const HwThread &thr = sim.chip().core(c).thread(0);
+        for (const Record &rec : thr.records())
+            r.records.push_back(rec);
+        r.counters.push_back(thr.counters().clkUnhalted());
+        r.counters.push_back(thr.counters().instRetired());
+        r.counters.push_back(thr.counters().idqUopsNotDelivered());
+    }
+    return r;
+}
+
+/** Records are data, not timing: any drift from the per-chunk path is a
+ *  correctness bug, so the bench refuses to report a speedup over
+ *  non-identical output. */
+void
+requireIdenticalRuns(const RecordRun &analytic, const RecordRun &chunk)
+{
+    auto bail = [](const std::string &what) {
+        throw std::runtime_error(
+            "BENCH_record: analytic batching diverged from the "
+            "per-chunk baseline (" + what + ")");
+    };
+    if (analytic.endTime != chunk.endTime)
+        bail("end time " + std::to_string(analytic.endTime) + " vs " +
+             std::to_string(chunk.endTime));
+    if (analytic.counters != chunk.counters)
+        bail("perf counters");
+    if (analytic.records.size() != chunk.records.size())
+        bail("record count " + std::to_string(analytic.records.size()) +
+             " vs " + std::to_string(chunk.records.size()));
+    for (std::size_t i = 0; i < analytic.records.size(); ++i) {
+        const Record &a = analytic.records[i];
+        const Record &b = chunk.records[i];
+        if (a.tag != b.tag || a.tsc != b.tsc || a.time != b.time ||
+            a.iterationsDone != b.iterationsDone)
+            bail("record " + std::to_string(i));
+    }
+}
+
+exp::MetricMap
+recordMetrics(bool noisy, std::uint64_t iters, std::uint64_t seed)
+{
+    // Interleave repetitions and keep each mode's best wall time — the
+    // usual minimum-estimator defense against scheduler noise on shared
+    // boxes; identity is asserted on every repetition.
+    RecordRun analytic = recordRun(/*per_chunk=*/false, noisy, iters,
+                                   seed);
+    RecordRun chunk = recordRun(/*per_chunk=*/true, noisy, iters, seed);
+    requireIdenticalRuns(analytic, chunk);
+    RecordRun analytic2 = recordRun(false, noisy, iters, seed);
+    RecordRun chunk2 = recordRun(true, noisy, iters, seed);
+    requireIdenticalRuns(analytic2, chunk2);
+    analytic.wallSec = std::min(analytic.wallSec, analytic2.wallSec);
+    chunk.wallSec = std::min(chunk.wallSec, chunk2.wallSec);
+
+    double sim_ms = toSeconds(analytic.endTime) * 1e3;
+    exp::MetricMap m;
+    m["records"] = static_cast<double>(analytic.records.size());
+    m["sim_events"] = static_cast<double>(analytic.events);
+    m["per_chunk_sim_events"] = static_cast<double>(chunk.events);
+    m["events_per_simulated_ms"] =
+        static_cast<double>(analytic.events) / sim_ms;
+    m["per_chunk_events_per_simulated_ms"] =
+        static_cast<double>(chunk.events) / sim_ms;
+    m["sim_wall_ms"] = analytic.wallSec * 1e3;
+    m["record_speedup_vs_per_chunk"] = chunk.wallSec / analytic.wallSec;
+    // The simulated work per wall second, priced in the events the
+    // per-chunk path needed for it — directly comparable to the
+    // pre-batching sim_run events/s trajectory in ROADMAP.md.
+    m["work_events_per_sec"] =
+        static_cast<double>(chunk.events) / analytic.wallSec;
+    return m;
+}
+
 // ------------------------------------------------------------- BENCH_tick
 
 /** Synthetic clocked component: a few flops of state math per tick. */
@@ -564,6 +706,26 @@ buildScenarios()
     };
     reg.add(std::move(spec));
 
+    // Independent of ICH_PERF_SIM_ITERS: the byte-identity assertion and
+    // the committed work_events_per_sec floor both want the full-size
+    // run, which costs only tens of milliseconds either way.
+    const std::uint64_t record_iters =
+        envCount("ICH_PERF_RECORD_ITERS", 200000);
+
+    exp::ScenarioSpec rec;
+    rec.name = "BENCH_record";
+    rec.description = "analytic chunk-record batching vs the per-chunk "
+                      "event-driven boundary path";
+    rec.axes = {exp::axisLabeled("workload",
+                                 {"record_batch", "sim_record"})};
+    rec.trials = 3;
+    rec.baseSeed = 1234;
+    rec.run = [=](const exp::TrialContext &ctx) {
+        return recordMetrics(/*noisy=*/ctx.point.getInt("workload") == 1,
+                             record_iters, ctx.seed);
+    };
+    reg.add(std::move(rec));
+
     const unsigned tick_members = static_cast<unsigned>(
         envCount("ICH_PERF_TICKERS", 256));
     const Time tick_horizon = fromMilliseconds(static_cast<double>(
@@ -613,6 +775,25 @@ main(int argc, char **argv)
                 churn.at("legacy_events_per_sec").mean / 1e6, speedup);
     if (speedup < 2.0)
         std::printf("WARNING: speedup below the 2x refactor target\n");
+
+    bench::banner("BENCH_record",
+                  "analytic chunk-record batching vs per-chunk events");
+    exp::SweepResult recres =
+        exp::runAndReport(*reg.find("BENCH_record"), cli);
+    const auto &rbatch = recres.aggregates.at(0).metrics;
+    const auto &rsim = recres.aggregates.at(1).metrics;
+    std::printf("\nrecord_batch: %.0f events/sim-ms batched vs %.0f "
+                "per-chunk -> %.2fx wall speedup\n",
+                rbatch.at("events_per_simulated_ms").mean,
+                rbatch.at("per_chunk_events_per_simulated_ms").mean,
+                rbatch.at("record_speedup_vs_per_chunk").mean);
+    std::printf("sim_record:   %.2fx wall speedup, %.2fM work-events/s "
+                "(records byte-identical in both)\n",
+                rsim.at("record_speedup_vs_per_chunk").mean,
+                rsim.at("work_events_per_sec").mean / 1e6);
+    if (rbatch.at("record_speedup_vs_per_chunk").mean < 2.0)
+        std::printf("WARNING: record batching below the 2x refactor "
+                    "target\n");
 
     bench::banner("BENCH_tick",
                   "rate-grouped Ticker vs per-event periodic traffic");

@@ -29,9 +29,14 @@ Chip::~Chip()
 Cycles
 Chip::tscNow() const
 {
+    return tscAt(eq_.now());
+}
+
+Cycles
+Chip::tscAt(Time t) const
+{
     return static_cast<Cycles>(
-        std::llround(static_cast<double>(eq_.now()) * cfg_.tscGhz /
-                     1000.0));
+        std::llround(static_cast<double>(t) * cfg_.tscGhz / 1000.0));
 }
 
 Time
@@ -75,6 +80,16 @@ Chip::deassertCoreThrottle(CoreId core, ThrottleReason reason)
     c.touch();
     c.throttle().deassertThrottle(reason);
     c.refresh();
+}
+
+void
+Chip::beforeFreqChange()
+{
+    // Deferred chunk records still pending in any thread are priced at
+    // the rate that was in force when they were crossed; materialize
+    // them before the PLL moves.
+    for (auto &core : cores_)
+        core->materializePending();
 }
 
 std::vector<CoreActivity>

@@ -67,6 +67,8 @@ class Chip : public ChipApi, public PmuHooks
     Rng &rng() override { return rng_; }
     double freqGhz() const override { return pmu_->freqGhz(); }
     Cycles tscNow() const override;
+    Cycles tscAt(Time t) const override;
+    double tscGhz() const override { return cfg_.tscGhz; }
     Time tscToTime(Cycles tsc) const override;
     void phiStarted(CoreId core, int smt, InstClass cls) override;
     void kernelEnded(CoreId core, int smt, InstClass cls) override;
@@ -80,6 +82,7 @@ class Chip : public ChipApi, public PmuHooks
                             int initiator) override;
     void deassertCoreThrottle(CoreId core, ThrottleReason reason) override;
     std::vector<CoreActivity> coreActivity() const override;
+    void beforeFreqChange() override;
     ///@}
 
     /** @name Convenience measurement points (the "sense resistors") */

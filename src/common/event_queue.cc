@@ -22,6 +22,7 @@ EventQueue::allocSlot()
         std::uint32_t base =
             static_cast<std::uint32_t>(slabs_.size()) * kSlabSize;
         slabs_.push_back(std::make_unique<Node[]>(kSlabSize));
+        heapPos_.resize(heapPos_.size() + kSlabSize);
         for (std::uint32_t i = 0; i < kSlabSize; ++i)
             node(base + i).nextFree =
                 (i + 1 < kSlabSize) ? base + i + 1 : kNilIndex;
@@ -75,6 +76,65 @@ EventQueue::deschedule(EventId id)
     n.cb.reset();
     assert(liveEvents_ > 0);
     --liveEvents_;
+}
+
+bool
+EventQueue::reschedule(EventId id, Time when)
+{
+    if (when < now_)
+        throw std::logic_error("EventQueue: rescheduling into the past");
+    std::uint64_t slotPlus1 = id >> 32;
+    if (slotPlus1 == 0 || slotPlus1 > slabs_.size() * kSlabSize)
+        return false;
+    std::uint32_t slot = static_cast<std::uint32_t>(slotPlus1 - 1);
+    Node &n = node(slot);
+    if (!n.live || n.gen != static_cast<std::uint32_t>(id))
+        return false;
+    std::size_t i = heapPos_[slot];
+    assert(i < heap_.size() && heap_[i].slot == slot);
+    HeapEntry e = heap_[i];
+    e.when = when;
+    // A fresh sequence keeps (time, priority, seq) ordering identical to
+    // the deschedule+schedule pair this replaces.
+    e.seq = nextSeq_++;
+    siftAt(i, e);
+    return true;
+}
+
+void
+EventQueue::siftAt(std::size_t i, const HeapEntry &e)
+{
+    // Hole-based decrease-or-increase-key: the new key either rises
+    // toward the root or sinks toward the leaves, never both.
+    if (i > 0 && entryBefore(e, heap_[(i - 1) / 4])) {
+        do {
+            std::size_t parent = (i - 1) / 4;
+            if (!entryBefore(e, heap_[parent]))
+                break;
+            heap_[i] = heap_[parent];
+            heapPos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+            i = parent;
+        } while (i > 0);
+    } else {
+        const std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t first = 4 * i + 1;
+            if (first >= n)
+                break;
+            std::size_t best = first;
+            std::size_t end = std::min(first + 4, n);
+            for (std::size_t c = first + 1; c < end; ++c)
+                if (entryBefore(heap_[c], heap_[best]))
+                    best = c;
+            if (!entryBefore(heap_[best], e))
+                break;
+            heap_[i] = heap_[best];
+            heapPos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+            i = best;
+        }
+    }
+    heap_[i] = e;
+    heapPos_[e.slot] = static_cast<std::uint32_t>(i);
 }
 
 bool
@@ -159,15 +219,13 @@ EventQueue::pendingInfo(EventId id, Time &when, std::int32_t &priority,
     const Node &n = slabs_[slot / kSlabSize][slot % kSlabSize];
     if (!n.live || n.gen != static_cast<std::uint32_t>(id))
         return false;
-    for (const HeapEntry &e : heap_) {
-        if (e.slot == slot) {
-            when = e.when;
-            priority = e.priority;
-            seq = e.seq;
-            return true;
-        }
-    }
-    return false;
+    assert(heapPos_[slot] < heap_.size() &&
+           heap_[heapPos_[slot]].slot == slot);
+    const HeapEntry &e = heap_[heapPos_[slot]];
+    when = e.when;
+    priority = e.priority;
+    seq = e.seq;
+    return true;
 }
 
 void
@@ -193,18 +251,8 @@ EventQueue::restoreState(state::SectionReader &r)
 void
 EventQueue::heapPush(const HeapEntry &e)
 {
-    // Hole-based sift-up: shift displaced parents down and write the new
-    // entry once, instead of swapping it level by level.
     heap_.push_back(e);
-    std::size_t i = heap_.size() - 1;
-    while (i > 0) {
-        std::size_t parent = (i - 1) / 4;
-        if (!entryBefore(e, heap_[parent]))
-            break;
-        heap_[i] = heap_[parent];
-        i = parent;
-    }
-    heap_[i] = e;
+    siftAt(heap_.size() - 1, e); // a tail entry can only sift up
 }
 
 void
@@ -215,24 +263,7 @@ EventQueue::heapPopRoot()
     heap_.pop_back();
     if (heap_.empty())
         return;
-    // Hole-based sift-down of the displaced tail entry.
-    std::size_t i = 0;
-    const std::size_t n = heap_.size();
-    for (;;) {
-        std::size_t first = 4 * i + 1;
-        if (first >= n)
-            break;
-        std::size_t best = first;
-        std::size_t end = std::min(first + 4, n);
-        for (std::size_t c = first + 1; c < end; ++c)
-            if (entryBefore(heap_[c], heap_[best]))
-                best = c;
-        if (!entryBefore(heap_[best], last))
-            break;
-        heap_[i] = heap_[best];
-        i = best;
-    }
-    heap_[i] = last;
+    siftAt(0, last); // the displaced tail entry can only sift down
 }
 
 } // namespace ich

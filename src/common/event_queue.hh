@@ -117,6 +117,20 @@ class EventQueue
      */
     void deschedule(EventId id);
 
+    /**
+     * Retarget a pending event to fire at @p when instead, in place: the
+     * heap entry is sifted to its new position, the slot, generation
+     * (and so the handle), callback and priority are all preserved, and
+     * a fresh insertion sequence is assigned — so the observable (time,
+     * priority, seq) ordering is exactly what a deschedule()+schedule()
+     * pair would produce, without the slot churn, callback move, or
+     * heap tombstone.
+     *
+     * @return false for a stale handle (already fired, cancelled, or
+     *         currently being dispatched) — the caller schedules fresh.
+     */
+    bool reschedule(EventId id, Time when);
+
     /** True if no live events remain. */
     bool empty() const { return liveEvents_ == 0; }
 
@@ -153,7 +167,7 @@ class EventQueue
     /**
      * Look up a pending event's schedule parameters (used by component
      * saveState() to record re-armable events). Returns false for
-     * invalid/stale/fired handles. O(heap size) — save path only.
+     * invalid/stale/fired handles. O(1) via the slot's heap position.
      */
     bool pendingInfo(EventId id, Time &when, std::int32_t &priority,
                      std::uint64_t &seq) const;
@@ -217,6 +231,9 @@ class EventQueue
     void heapPush(const HeapEntry &e);
     void heapPopRoot();
 
+    /** Sift entry @p e (destined for position @p i) to its heap slot. */
+    void siftAt(std::size_t i, const HeapEntry &e);
+
     Time now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::size_t liveEvents_ = 0;
@@ -224,6 +241,16 @@ class EventQueue
 
     std::vector<HeapEntry> heap_;
     std::vector<std::unique_ptr<Node[]>> slabs_;
+    /**
+     * Heap index of each slot's entry, maintained by every sift move. A
+     * slot owns at most one heap entry (tombstoned entries keep their
+     * slot until they surface), so the position is unique; it enables
+     * O(log n) reschedule() and O(1) pendingInfo(). Kept as a dense
+     * side array (one word per slot, grown with the pool) so the
+     * per-move update stays in cache instead of touching each displaced
+     * entry's pooled Node.
+     */
+    std::vector<std::uint32_t> heapPos_;
     std::uint32_t freeHead_ = kNilIndex;
 };
 

@@ -204,6 +204,24 @@ class CoalescedTimer
         event_ = eq.scheduleChecked(when, std::forward<F>(cb), priority);
     }
 
+    /**
+     * Arm at @p when, or — unlike arm() — move an already-pending
+     * deadline there, in either direction, via EventQueue::reschedule():
+     * the pending event is retargeted in place (callback, handle and
+     * priority preserved; no deschedule+schedule pair, no heap
+     * tombstone). For deadlines that genuinely move both ways (e.g. a
+     * VR transition superseded by a shorter one); deadlines that only
+     * extend should keep using arm(), whose no-op is cheaper still.
+     */
+    template <class F>
+    void
+    retarget(EventQueue &eq, Time when, F &&cb, int priority = 0)
+    {
+        if (pending() && eq.reschedule(event_, when))
+            return;
+        event_ = eq.scheduleChecked(when, std::forward<F>(cb), priority);
+    }
+
     /** Mark the pending event as consumed (call first in the callback). */
     void fired() { event_ = EventQueue::kInvalidEvent; }
 

@@ -30,6 +30,11 @@ class ChipApi
 
     /** Invariant TSC (counts at the base clock regardless of P-state). */
     virtual Cycles tscNow() const = 0;
+    /** Invariant TSC value at simulated time @p t (record backdating). */
+    virtual Cycles tscAt(Time t) const = 0;
+    /** Invariant TSC rate, GHz (hoisted out of record-emission loops;
+     *  tscAt(t) == llround(double(t) * tscGhz() / 1000.0)). */
+    virtual double tscGhz() const = 0;
     virtual Time tscToTime(Cycles tsc) const = 0;
 
     /**

@@ -31,6 +31,13 @@ Core::refresh()
         t->refresh();
 }
 
+void
+Core::materializePending()
+{
+    for (auto &t : threads_)
+        t->materializePending();
+}
+
 bool
 Core::anyThreadActive() const
 {

@@ -59,6 +59,14 @@ class Core
     /** Touch + advance steps + reschedule all threads. */
     void refresh();
 
+    /**
+     * Materialize all threads' analytically-deferred chunk records at
+     * the current rates, *without* accruing the partial tail past the
+     * last crossed boundary (that tail belongs to whatever rate applies
+     * when it is eventually accrued). Called before a frequency change.
+     */
+    void materializePending();
+
     /** Any thread executing instructions right now? */
     bool anyThreadActive() const;
 

@@ -79,10 +79,6 @@ VoltageRegulator::setTarget(double target_volts, DoneCallback on_done)
 {
     // Retarget from the instantaneous voltage.
     double from = volts();
-    if (doneEvent_ != EventQueue::kInvalidEvent) {
-        eq_.deschedule(doneEvent_);
-        doneEvent_ = EventQueue::kInvalidEvent;
-    }
     // A superseded transition's callback is dropped: the SVID layer above
     // owns completion tracking and never overlaps transactions.
     onDone_ = std::move(on_done);
@@ -98,9 +94,10 @@ VoltageRegulator::setTarget(double target_volts, DoneCallback on_done)
     rampEndTime_ = rampStartTime_ + ramp;
     busy_ = true;
 
-    // One event per SVID voltage transaction.
-    doneEvent_ = eq_.scheduleChecked(rampEndTime_ + cfg_.settleTime,
-                                     [this] { finishTransition(); });
+    // One event per SVID voltage transaction; a superseding transaction
+    // moves the pending completion deadline in place.
+    done_.retarget(eq_, rampEndTime_ + cfg_.settleTime,
+                   [this] { finishTransition(); });
 }
 
 void
@@ -125,14 +122,14 @@ VoltageRegulator::restoreState(state::SectionReader &r,
     rampStartTime_ = r.getU64();
     rampEndTime_ = r.getU64();
     busy_ = false;
-    doneEvent_ = EventQueue::kInvalidEvent;
+    done_ = CoalescedTimer{};
     onDone_ = nullptr;
 }
 
 void
 VoltageRegulator::finishTransition()
 {
-    doneEvent_ = EventQueue::kInvalidEvent;
+    done_.fired();
     busy_ = false;
     rampFromVolts_ = target_;
     if (onDone_) {

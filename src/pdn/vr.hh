@@ -21,6 +21,7 @@
 
 #include "common/event_queue.hh"
 #include "common/rng.hh"
+#include "common/ticker.hh"
 #include "common/types.hh"
 #include "state/fwd.hh"
 
@@ -118,7 +119,13 @@ class VoltageRegulator
     Time rampStartTime_ = 0;
     Time rampEndTime_ = 0;
 
-    EventId doneEvent_ = EventQueue::kInvalidEvent;
+    /**
+     * Completion deadline. A superseding setTarget() retargets the
+     * pending event in place (the callback is the same every time), so
+     * a ramp shortened or extended mid-flight costs one in-place sift
+     * instead of a deschedule+schedule pair.
+     */
+    CoalescedTimer done_;
     DoneCallback onDone_;
 
     void finishTransition();

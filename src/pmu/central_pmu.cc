@@ -319,6 +319,7 @@ CentralPmu::startPstateTransition(double target_ghz)
         hooks_.assertCoreThrottle(c, ThrottleReason::kPstate, 0);
     auto cb = [this, target_ghz] {
         accrueEnergy();
+        hooks_.beforeFreqChange();
         freqGhz_ = target_ghz;
         for (CoreId c = 0; c < hooks_.numCores(); ++c)
             hooks_.deassertCoreThrottle(c, ThrottleReason::kPstate);

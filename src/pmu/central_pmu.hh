@@ -57,6 +57,14 @@ class PmuHooks
                                       ThrottleReason reason) = 0;
     /** Per-core instantaneous activity (gbLevel filled by the PMU). */
     virtual std::vector<CoreActivity> coreActivity() const = 0;
+    /**
+     * The shared PLL is about to change frequency. Threads defer
+     * chunk-record materialization analytically, replaying it on demand
+     * at the *current* rate — so everything still pending must be
+     * materialized at the old frequency before the new one becomes
+     * visible. Called immediately before every freqGhz() change.
+     */
+    virtual void beforeFreqChange() = 0;
 };
 
 /** PMU configuration. */

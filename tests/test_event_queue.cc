@@ -286,5 +286,129 @@ TEST(EventQueue, HandlesStayUniqueAcrossSlotReuse)
     }
 }
 
+TEST(EventQueue, RescheduleMovesEventLater)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    EventId a = eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(20, [&] { order.push_back(1); });
+    eq.schedule(30, [&] { order.push_back(2); });
+    // Sift-down retarget: 10 -> 25 lands between the other two.
+    EXPECT_TRUE(eq.reschedule(a, 25));
+    EXPECT_EQ(eq.size(), 3u);
+    eq.runToCompletion();
+    ASSERT_EQ(order, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(EventQueue, RescheduleMovesEventEarlier)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(20, [&] { order.push_back(1); });
+    eq.schedule(30, [&] { order.push_back(2); });
+    EventId a = eq.schedule(40, [&] { order.push_back(0); });
+    // Sift-up retarget: 40 -> 10 becomes the new head.
+    EXPECT_TRUE(eq.reschedule(a, 10));
+    eq.runToCompletion();
+    ASSERT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, RescheduleKeepsHandleValidAndCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    EventId a = eq.schedule(10, [&] { ++fired; });
+    EXPECT_TRUE(eq.reschedule(a, 50));
+    EXPECT_TRUE(eq.reschedule(a, 30)); // same handle, repeatedly
+    Time when;
+    std::int32_t prio;
+    std::uint64_t seq;
+    ASSERT_TRUE(eq.pendingInfo(a, when, prio, seq));
+    EXPECT_EQ(when, 30u);
+    eq.deschedule(a); // handle still cancels the (moved) event
+    eq.runUntil(100);
+    EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, RescheduleAssignsFreshInsertionSequence)
+{
+    // A retargeted event ties with a later-scheduled event at the same
+    // timestamp exactly as a deschedule+schedule pair would: it fires
+    // after it.
+    EventQueue eq;
+    std::vector<int> order;
+    EventId a = eq.schedule(10, [&] { order.push_back(0); });
+    eq.schedule(40, [&] { order.push_back(1); });
+    EXPECT_TRUE(eq.reschedule(a, 40));
+    eq.runToCompletion();
+    ASSERT_EQ(order, (std::vector<int>{1, 0}));
+}
+
+TEST(EventQueue, RescheduleStaleIdIsRejected)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(10, [] {});
+    eq.deschedule(a);
+    EXPECT_FALSE(eq.reschedule(a, 20)); // cancelled
+    bool fired = false;
+    EventId b = eq.schedule(5, [&] { fired = true; });
+    eq.runOne();
+    EXPECT_TRUE(fired);
+    EXPECT_FALSE(eq.reschedule(b, 30)); // already fired
+    EXPECT_FALSE(eq.reschedule(EventQueue::kInvalidEvent, 30));
+    eq.runToCompletion();
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RescheduleDuringDispatchIsRejected)
+{
+    // The dispatching event's handle is stale inside its own callback —
+    // callers fall back to a fresh schedule, and the old handle cannot
+    // resurrect or clobber anything.
+    EventQueue eq;
+    int fired = 0;
+    EventId a = 0;
+    a = eq.schedule(10, [&] {
+        ++fired;
+        EXPECT_FALSE(eq.reschedule(a, 50));
+    });
+    eq.runToCompletion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RescheduleIntoThePastThrows)
+{
+    EventQueue eq;
+    EventId a = eq.schedule(100, [] {});
+    eq.runUntil(50);
+    EXPECT_THROW(eq.reschedule(a, 10), std::logic_error);
+    eq.deschedule(a);
+}
+
+TEST(EventQueue, RescheduleStressAgainstTombstones)
+{
+    // Interleave reschedules with cancels so retargets sift across a
+    // heap full of live entries and tombstones; ordering must stay
+    // exactly (time, priority, seq).
+    EventQueue eq;
+    std::vector<std::pair<Time, int>> fired;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 300; ++i)
+        ids.push_back(eq.schedule(100 + 7 * ((i * 37) % 100),
+                                  [&fired, i, &eq] {
+                                      fired.push_back({eq.now(), i});
+                                  }));
+    for (int i = 0; i < 300; i += 3)
+        eq.deschedule(ids[i]);
+    for (int i = 1; i < 300; i += 3)
+        EXPECT_TRUE(eq.reschedule(ids[i], 100 + 11 * ((i * 53) % 90)));
+    eq.runToCompletion();
+    EXPECT_EQ(fired.size(), 200u);
+    for (std::size_t k = 1; k < fired.size(); ++k)
+        EXPECT_LE(fired[k - 1].first, fired[k].first);
+    EXPECT_TRUE(eq.empty());
+}
+
 } // namespace
 } // namespace ich

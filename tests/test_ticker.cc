@@ -272,6 +272,54 @@ TEST(CoalescedTimer, ExtendingDeadlineCostsNoHeapTraffic)
     EXPECT_FALSE(timer.pending());
 }
 
+TEST(CoalescedTimer, RetargetMovesPendingDeadlineInPlace)
+{
+    // retarget() moves the deadline both directions via
+    // EventQueue::reschedule — one pending event throughout, and the
+    // fire happens exactly at the last requested time.
+    EventQueue eq;
+    std::vector<Time> fires;
+    CoalescedTimer timer;
+    auto cb = [&] {
+        timer.fired();
+        fires.push_back(eq.now());
+    };
+    timer.retarget(eq, 100, cb);
+    EXPECT_EQ(eq.size(), 1u);
+    timer.retarget(eq, 300, cb); // later
+    EXPECT_EQ(eq.size(), 1u);
+    timer.retarget(eq, 40, cb); // earlier
+    EXPECT_EQ(eq.size(), 1u);
+    EXPECT_TRUE(timer.pending());
+    eq.runToCompletion();
+    ASSERT_EQ(fires, (std::vector<Time>{40}));
+    EXPECT_FALSE(timer.pending());
+
+    // After the fire the handle is stale: retarget schedules fresh.
+    timer.retarget(eq, 90, cb);
+    EXPECT_TRUE(timer.pending());
+    eq.runToCompletion();
+    ASSERT_EQ(fires, (std::vector<Time>{40, 90}));
+}
+
+TEST(CoalescedTimer, RetargetAfterCancelSchedulesFresh)
+{
+    EventQueue eq;
+    int fired = 0;
+    CoalescedTimer timer;
+    auto cb = [&] {
+        timer.fired();
+        ++fired;
+    };
+    timer.retarget(eq, 100, cb);
+    timer.cancel(eq);
+    EXPECT_FALSE(timer.pending());
+    timer.retarget(eq, 200, cb);
+    eq.runToCompletion();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 200u);
+}
+
 // ---------------------------------------------------------------- snapshots
 
 /** Tick-heavy configuration: every periodic subsystem enabled. */
