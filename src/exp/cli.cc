@@ -72,6 +72,23 @@ parseCli(int argc, const char *const *argv)
             saw_out = true;
         } else if (arg == "--resume") {
             cli.resume = true;
+        } else if (arg == "--shard") {
+            cli.shard = parsePositiveInt(arg, next(i, arg));
+        } else if (arg == "--shard-worker") {
+            cli.shardWorker = true;
+        } else if (arg == "--shard-in") {
+            cli.shardInFd =
+                static_cast<int>(parseU64(arg, next(i, arg)));
+        } else if (arg == "--shard-out") {
+            cli.shardOutFd =
+                static_cast<int>(parseU64(arg, next(i, arg)));
+        } else if (arg == "--shard-scratch") {
+            cli.shardScratch = next(i, arg);
+            if (cli.shardScratch.empty())
+                throw std::invalid_argument(
+                    "--shard-scratch: empty directory");
+        } else if (arg == "--shard-kill-after") {
+            cli.shardKillAfter = parsePositiveInt(arg, next(i, arg));
         } else if (arg == "--list") {
             cli.list = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -109,6 +126,9 @@ cliUsage(const std::string &prog)
            "results dir\n"
            "                  and skip points an interrupted run "
            "finished\n"
+           "  --shard N       run sweeps across N worker processes "
+           "(byte-identical\n"
+           "                  to --jobs 1; combines with --resume)\n"
            "  --list          list scenarios and exit\n"
            "  --help, -h      this text\n"
            "With no SCENARIO arguments every scenario runs.\n";

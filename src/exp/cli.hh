@@ -13,9 +13,22 @@
  *   --resume      resumable sweep: checkpoint completed points (and
  *                 warm snapshots) into the results directory, and skip
  *                 points a previous interrupted run already finished
+ *   --shard N     run sweeps across N worker *processes* (fork/exec of
+ *                 this binary) instead of in-process threads; results
+ *                 are byte-identical to --jobs 1
  *   --list        list available scenarios and exit
  *   --help        usage
  *   NAME...       positional: run only the named scenarios
+ *
+ * Internal flags (spawned by the shard coordinator, not for humans):
+ *
+ *   --shard-worker           enter worker mode: speak the shard
+ *                            protocol on --shard-in/--shard-out
+ *   --shard-in FD            frames from the coordinator
+ *   --shard-out FD           frames to the coordinator
+ *   --shard-scratch DIR      per-worker snapshot cache + manifest
+ *   --shard-kill-after N     failure injection: SIGKILL while starting
+ *                            the Nth assigned unit (tests only)
  */
 
 #ifndef ICH_EXP_CLI_HH
@@ -41,9 +54,25 @@ struct CliOptions {
     bool csv = false;
     std::string outDir = "results";
     bool resume = false;
+    int shard = 0; ///< > 0: run sweeps across N worker processes
     bool list = false;
     bool help = false;
     std::vector<std::string> scenarios; ///< empty: run everything
+
+    /**
+     * Extra argv for spawned shard workers: harness-specific flags the
+     * worker binary needs to rebuild the same scenario registry (e.g.
+     * perf_sweep's "--grid large"). Harnesses fill this after
+     * harnessSetup; ignored unless shard > 0.
+     */
+    std::vector<std::string> shardWorkerArgs;
+
+    // --- internal worker mode (set by the coordinator's spawn) ---
+    bool shardWorker = false;
+    int shardInFd = -1;
+    int shardOutFd = -1;
+    std::string shardScratch;
+    int shardKillAfter = 0;
 };
 
 /**

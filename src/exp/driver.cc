@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "exp/runner.hh"
+#include "shard/coordinator.hh"
+#include "shard/worker.hh"
 
 namespace ich
 {
@@ -22,6 +24,23 @@ harnessSetup(int argc, const char *const *argv,
         std::fprintf(stderr, "error: %s\n%s", e.what(),
                      cliUsage(prog).c_str());
         return 2;
+    }
+    if (cli.shardWorker) {
+        // Spawned by a ShardCoordinator: become a protocol worker and
+        // never return to the harness body.
+        if (cli.shardInFd < 0 || cli.shardOutFd < 0 ||
+            cli.shardScratch.empty()) {
+            std::fprintf(stderr,
+                         "error: --shard-worker needs --shard-in, "
+                         "--shard-out and --shard-scratch\n");
+            return 2;
+        }
+        shard::WorkerConfig wcfg;
+        wcfg.inFd = cli.shardInFd;
+        wcfg.outFd = cli.shardOutFd;
+        wcfg.scratchDir = cli.shardScratch;
+        wcfg.killAfterUnits = cli.shardKillAfter;
+        return shard::runWorker(registry, wcfg);
     }
     if (cli.help) {
         std::printf("%s", cliUsage(prog).c_str());
@@ -47,10 +66,21 @@ harnessSetup(int argc, const char *const *argv,
 SweepResult
 runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
 {
-    SweepRunner runner(toRunnerOptions(cli));
     SweepResult result;
     try {
-        result = runner.run(spec);
+        if (cli.shard > 0) {
+            shard::ShardOptions sopts;
+            sopts.workers = cli.shard;
+            sopts.seed = cli.seed;
+            sopts.trials = cli.trials;
+            if (cli.resume)
+                sopts.resumeDir = cli.outDir;
+            sopts.workerArgs = cli.shardWorkerArgs;
+            result = shard::runSharded(spec, std::move(sopts));
+        } else {
+            SweepRunner runner(toRunnerOptions(cli));
+            result = runner.run(spec);
+        }
     } catch (const std::exception &e) {
         // A failing trial is fatal for a CLI harness, but must surface
         // as a clean message, not an uncaught-exception abort.

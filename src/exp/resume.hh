@@ -71,6 +71,21 @@ bool loadManifest(const std::string &path, ResumeManifest &out);
 /** Atomically persist @p m (creates the directory when needed). */
 void writeManifest(const std::string &path, const ResumeManifest &m);
 
+/**
+ * Merge @p src's completed points into @p dst. Both manifests must
+ * describe the same sweep (matches()), or this throws. A point present
+ * in both must carry bit-identical trial records: identical duplicates
+ * dedupe silently (re-running a point is legitimate after a worker
+ * crash), while records that differ in any metric bit, seed, or trial
+ * order throw std::runtime_error — diverging duplicates mean
+ * corruption or nondeterminism and must never be papered over.
+ *
+ * Returns the indices of points newly added to @p dst, in ascending
+ * order.
+ */
+std::vector<std::size_t> mergeManifest(ResumeManifest &dst,
+                                       const ResumeManifest &src);
+
 } // namespace exp
 } // namespace ich
 

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ShardCoordinator: multi-process sweep execution on top of warm
+ * snapshots.
+ *
+ * The coordinator partitions a ScenarioSpec's expanded grid into work
+ * units (one grid point = all its trials), spawns N worker processes —
+ * fork/exec of this same binary in `--shard-worker` mode — and drives
+ * them over the CRC-framed pipe protocol in shard/protocol.hh.
+ *
+ * Placement: units are pinned to workers by Maglev-consistent-hashing
+ * their warmup key (shard/hash_ring.hh), so each unique warm state is
+ * simulated once and stays cached where its points run. An idle worker
+ * steals queued units from the most-loaded peer — byte-identity is
+ * placement-independent (the per-trial seed contract), so stealing is
+ * always safe — and the coordinator forwards already-computed warm
+ * snapshots to the thief so stolen units skip the warmup too.
+ *
+ * Fault tolerance: a worker death (EOF on its pipe) triggers (1) a
+ * scavenge of the worker's fsync'd scratch manifest, recovering points
+ * it completed but never reported, (2) reassignment of its remaining
+ * units to live workers, and (3) a bounded-backoff respawn of the slot.
+ * A slot that keeps dying is disabled (its ring slots redistribute);
+ * a unit that keeps failing aborts the sweep with a loud report. Trial
+ * exceptions are deterministic, so they abort immediately rather than
+ * retry. Results merge under the manifest rules: duplicate identical
+ * points dedupe silently, conflicting bits abort (corruption signal).
+ *
+ * The outcome is a SweepResult byte-identical to SweepRunner's: same
+ * trial records (metric doubles travel as raw IEEE-754 bits), same
+ * serial aggregation, same reports.
+ */
+
+#ifndef ICH_SHARD_COORDINATOR_HH
+#define ICH_SHARD_COORDINATOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/aggregate.hh"
+#include "exp/scenario.hh"
+
+namespace ich
+{
+namespace shard
+{
+
+struct ShardOptions {
+    /** Worker processes (>= 1; capped at the pending unit count). */
+    int workers = 2;
+    /** Override the spec's base seed / trials (same as RunnerOptions). */
+    std::optional<std::uint64_t> seed;
+    std::optional<int> trials;
+    /**
+     * Resumable-sweep directory (empty: off). Exactly the SweepRunner
+     * contract: the master manifest prefills completed points, is
+     * flushed after every completed point, and warm snapshots are
+     * cached as `<scenario>.warm-*.snap` for bit-exact restarts.
+     */
+    std::string resumeDir;
+    /**
+     * Scratch root for per-worker snapshot caches and partial
+     * manifests. Default: "shard-scratch" in the working directory;
+     * the per-run subdirectory is removed on clean exit and kept (with
+     * a pointer on stderr) when the sweep fails.
+     */
+    std::string scratchDir;
+    /**
+     * Worker binary. Default: /proc/self/exe (the coordinator and its
+     * workers must be the same build, or the grid-fingerprint handshake
+     * refuses the sweep).
+     */
+    std::string binaryPath;
+    /**
+     * Extra argv entries for every worker, e.g. a harness-specific
+     * flag like `--grid large` that shapes the scenario registry.
+     */
+    std::vector<std::string> workerArgs;
+    /** Assignments kept in flight per worker (pipelining). */
+    int unitWindow = 2;
+    /** A unit failing this many times aborts the sweep. */
+    int maxUnitAttempts = 3;
+    /** Spawn budget per worker slot (first launch + respawns). */
+    int maxSpawnsPerWorker = 3;
+    /**
+     * Kill a hung worker after this long without any frame while work
+     * is in flight (0: disabled — EOF detection covers killed workers;
+     * the timeout exists for live-but-wedged ones).
+     */
+    int stallTimeoutMs = 0;
+    /** Same contract as RunnerOptions::progress. */
+    std::function<void(std::size_t, std::size_t)> progress;
+    /**
+     * Failure-injection hook (tests): worker slot 0 is spawned with
+     * `--shard-kill-after N`, making it raise(SIGKILL) while starting
+     * its Nth assigned unit. <= 0: disabled.
+     */
+    int testKillWorker0AfterUnits = 0;
+};
+
+class ShardCoordinator
+{
+  public:
+    explicit ShardCoordinator(ShardOptions opts = {});
+
+    /**
+     * Run @p spec across the worker pool. Throws std::runtime_error on
+     * unrecoverable failure (trial exception, exhausted retries,
+     * conflicting duplicate results), with the failure report in the
+     * message.
+     */
+    exp::SweepResult run(const exp::ScenarioSpec &spec) const;
+
+    const ShardOptions &options() const { return opts_; }
+
+  private:
+    ShardOptions opts_;
+};
+
+/** One-call convenience used by the harness driver. */
+exp::SweepResult runSharded(const exp::ScenarioSpec &spec,
+                            ShardOptions opts);
+
+/** Path of this executable (for ShardOptions::binaryPath). */
+std::string selfExecutablePath();
+
+} // namespace shard
+} // namespace ich
+
+#endif // ICH_SHARD_COORDINATOR_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Maglev-style consistent hashing for warm-snapshot locality.
+ *
+ * The coordinator pins every warmup key to one worker so each unique
+ * warm state is simulated (and cached) exactly once across the shard
+ * pool. The Maglev construction (Eisenbud et al., NSDI'16) fills a
+ * fixed-size lookup table from per-backend permutations, giving two
+ * properties the naive `hash % N` lacks:
+ *
+ *  - balance: every enabled worker owns ~tableSize/N slots (within a
+ *    few percent), so key ownership spreads evenly even for small N;
+ *  - minimal disruption: disabling one worker (a crashed shard past
+ *    its respawn budget) reassigns that worker's slots and only a few
+ *    percent of everyone else's — the other workers keep their warm
+ *    caches hot.
+ */
+
+#ifndef ICH_SHARD_HASH_RING_HH
+#define ICH_SHARD_HASH_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ich
+{
+namespace shard
+{
+
+class HashRing
+{
+  public:
+    /**
+     * @p backends workers, table of @p table_size slots (prime, and
+     * well above the worker count, for balance; 307 comfortably serves
+     * the <= 64-worker pools a single coordinator drives).
+     */
+    explicit HashRing(std::size_t backends, std::size_t table_size = 307);
+
+    /** Worker owning @p key; throws std::logic_error when none enabled. */
+    std::size_t lookup(const std::string &key) const;
+
+    /** Permanently remove a worker and rebuild the table. */
+    void disable(std::size_t backend);
+
+    bool enabled(std::size_t backend) const { return enabled_[backend]; }
+    std::size_t backendCount() const { return enabled_.size(); }
+    std::size_t enabledCount() const;
+    const std::vector<std::uint32_t> &table() const { return table_; }
+
+  private:
+    std::vector<bool> enabled_;
+    std::vector<std::uint32_t> table_; ///< slot -> backend index
+
+    void build();
+};
+
+} // namespace shard
+} // namespace ich
+
+#endif // ICH_SHARD_HASH_RING_HH

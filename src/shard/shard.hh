@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Umbrella header for the multi-process sweep sharding subsystem.
+ *
+ * A sharded sweep splits a scenario grid across N worker processes —
+ * re-exec'd copies of the same harness binary — coordinated over a
+ * CRC-framed pipe protocol, with warm snapshots placed by consistent
+ * hashing and crash recovery through per-worker scratch manifests. The
+ * result is byte-identical to a serial in-process sweep.
+ *
+ *   protocol.hh     frames, wire encoding, typed messages
+ *   hash_ring.hh    Maglev-style consistent hashing (warm-key pinning)
+ *   worker.hh       the `--shard-worker` process loop
+ *   coordinator.hh  ShardCoordinator / runSharded()
+ */
+
+#ifndef ICH_SHARD_SHARD_HH
+#define ICH_SHARD_SHARD_HH
+
+#include "shard/coordinator.hh"
+#include "shard/hash_ring.hh"
+#include "shard/protocol.hh"
+#include "shard/worker.hh"
+
+#endif // ICH_SHARD_SHARD_HH

@@ -1,0 +1,267 @@
+#include "shard/worker.hh"
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include <unistd.h>
+
+#include "exp/resume.hh"
+#include "shard/protocol.hh"
+#include "state/archive.hh"
+
+namespace ich
+{
+namespace shard
+{
+
+namespace
+{
+
+/**
+ * Worker-side warm-snapshot cache: memory first, then the scratch
+ * directory (so a respawned worker after a crash reuses its
+ * predecessor's work), then coordinator pushes, and only then a fresh
+ * warmup computation. Freshly computed snapshots are persisted to
+ * scratch *and* uploaded so the coordinator can seed other workers.
+ */
+class WarmCache
+{
+  public:
+    WarmCache(const exp::ScenarioSpec &spec, std::string scratch_dir,
+              int out_fd)
+        : spec_(spec), scratchDir_(std::move(scratch_dir)),
+          outFd_(out_fd)
+    {
+    }
+
+    void putFromCoordinator(const SnapshotMsg &msg)
+    {
+        // The payload is a state archive: self-validating. A corrupt
+        // push is a coordinator/disk bug — reject loudly rather than
+        // silently recomputing what the coordinator believes is cached.
+        state::ArchiveReader validate(msg.bytes); // throws ArchiveError
+        (void)validate;
+        persist(msg.key, msg.bytes);
+        cache_[msg.key] = msg.bytes;
+    }
+
+    const state::Buffer &get(const exp::ParamPoint &point,
+                             const std::string &key)
+    {
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+
+        // Scratch file left by a previous incarnation of this worker.
+        std::string path =
+            exp::warmSnapshotPath(scratchDir_, spec_.name, key);
+        try {
+            state::Buffer cached = state::readFile(path);
+            state::ArchiveReader validate(cached); // CRC/version
+            (void)validate;
+            return cache_.emplace(key, std::move(cached)).first->second;
+        } catch (const state::ArchiveError &) {
+            // Missing or corrupt: recompute below.
+        }
+
+        state::Buffer fresh = spec_.warmup(point);
+        persist(key, fresh);
+        SnapshotMsg up;
+        up.key = key;
+        up.bytes = fresh;
+        writeFrame(outFd_, MsgType::kSnapshotData, encodeSnapshot(up));
+        return cache_.emplace(key, std::move(fresh)).first->second;
+    }
+
+  private:
+    const exp::ScenarioSpec &spec_;
+    std::string scratchDir_;
+    int outFd_;
+    std::map<std::string, state::Buffer> cache_;
+
+    void persist(const std::string &key, const state::Buffer &bytes)
+    {
+        std::error_code ec;
+        std::filesystem::create_directories(scratchDir_, ec);
+        try {
+            state::atomicWriteFile(
+                exp::warmSnapshotPath(scratchDir_, spec_.name, key),
+                bytes);
+        } catch (const state::ArchiveError &e) {
+            // The scratch cache is an optimization; losing it costs a
+            // recompute after a crash, never correctness.
+            std::fprintf(stderr,
+                         "shard worker: warm-cache write failed: %s\n",
+                         e.what());
+        }
+    }
+};
+
+} // namespace
+
+int
+runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
+{
+    auto fatal = [&cfg](const std::string &msg) -> int {
+        ErrorMsg err;
+        err.message = msg;
+        try {
+            writeFrame(cfg.outFd, MsgType::kWorkerError,
+                       encodeError(err));
+        } catch (const ProtocolError &) {
+            // Coordinator already gone; stderr is all that's left.
+        }
+        std::fprintf(stderr, "shard worker: %s\n", msg.c_str());
+        return 3;
+    };
+
+    try {
+        Frame hello_frame = readFrame(cfg.inFd);
+        if (hello_frame.type != MsgType::kHello)
+            return fatal(std::string("expected hello, got ") +
+                         msgTypeName(hello_frame.type));
+        HelloMsg hello = decodeHello(hello_frame.payload);
+
+        const exp::ScenarioSpec *spec = registry.find(hello.scenario);
+        if (!spec)
+            return fatal("scenario '" + hello.scenario +
+                         "' not in this binary's registry");
+        if (!spec->run)
+            return fatal("scenario '" + hello.scenario +
+                         "' has no trial function");
+
+        // Re-expand the grid locally and prove it is the same sweep the
+        // coordinator partitioned — a drifted binary fails loudly here
+        // instead of producing silently different bytes.
+        const std::uint64_t base_seed = hello.baseSeed;
+        const int trials_per_point = hello.trialsPerPoint;
+        if (trials_per_point < 1)
+            return fatal("coordinator sent trials_per_point < 1");
+        std::vector<exp::ParamPoint> points = expandPoints(*spec);
+        std::uint64_t grid_fp = exp::gridFingerprint(points);
+        if (points.size() != hello.numPoints || grid_fp != hello.gridFp)
+            return fatal(
+                "grid mismatch: this binary expands '" + hello.scenario +
+                "' to " + std::to_string(points.size()) + " points (fp " +
+                std::to_string(grid_fp) + "), coordinator has " +
+                std::to_string(hello.numPoints) + " (fp " +
+                std::to_string(hello.gridFp) +
+                ") — rebuild or matching flags needed");
+
+        HelloAckMsg ack;
+        ack.pid = static_cast<std::int32_t>(::getpid());
+        ack.gridFp = grid_fp;
+        writeFrame(cfg.outFd, MsgType::kHelloAck, encodeHelloAck(ack));
+
+        WarmCache warm(*spec, cfg.scratchDir, cfg.outFd);
+
+        // Per-worker partial manifest: same header as the master so the
+        // coordinator can merge it back after a crash.
+        exp::ResumeManifest manifest;
+        manifest.scenario = hello.scenario;
+        manifest.baseSeed = base_seed;
+        manifest.trialsPerPoint = trials_per_point;
+        manifest.numPoints = hello.numPoints;
+        manifest.gridFp = grid_fp;
+        const std::string manifest_path =
+            exp::manifestPath(cfg.scratchDir, hello.scenario);
+
+        int units_started = 0;
+        for (;;) {
+            Frame frame = readFrame(cfg.inFd);
+            switch (frame.type) {
+              case MsgType::kShutdown:
+                return 0;
+              case MsgType::kSnapshotPut:
+                warm.putFromCoordinator(decodeSnapshot(frame.payload));
+                break;
+              case MsgType::kAssign: {
+                AssignMsg assign = decodeAssign(frame.payload);
+                std::size_t point_idx =
+                    static_cast<std::size_t>(assign.pointIndex);
+                if (point_idx >= points.size())
+                    return fatal("assigned point " +
+                                 std::to_string(point_idx) +
+                                 " beyond the grid");
+                HeartbeatMsg hb;
+                hb.pointIndex = assign.pointIndex;
+                writeFrame(cfg.outFd, MsgType::kHeartbeat,
+                           encodeHeartbeat(hb));
+                ++units_started;
+                if (cfg.killAfterUnits > 0 &&
+                    units_started >= cfg.killAfterUnits) {
+                    // Test hook: die mid-unit, the ugly way, so the
+                    // coordinator sees a raw EOF with a unit in flight.
+                    ::raise(SIGKILL);
+                }
+
+                const exp::ParamPoint &point = points[point_idx];
+                const state::Buffer *snapshot = nullptr;
+                if (spec->warmup) {
+                    std::string key = spec->warmupKey
+                                          ? spec->warmupKey(point)
+                                          : point.toString();
+                    snapshot = &warm.get(point, key);
+                }
+
+                ResultMsg result;
+                result.pointIndex = assign.pointIndex;
+                for (int t = 0; t < trials_per_point; ++t) {
+                    std::uint64_t global_idx =
+                        static_cast<std::uint64_t>(point_idx) *
+                            static_cast<std::uint64_t>(
+                                trials_per_point) +
+                        static_cast<std::uint64_t>(t);
+                    exp::TrialRecord rec;
+                    rec.pointIndex = point_idx;
+                    rec.trial = t;
+                    rec.seed =
+                        exp::deriveTrialSeed(base_seed, global_idx);
+                    exp::TrialContext ctx{point, point_idx, t, rec.seed,
+                                          snapshot};
+                    rec.metrics = spec->run(ctx);
+                    result.trials.push_back(std::move(rec));
+                }
+
+                // Durability order matters: scratch manifest first
+                // (atomic + fsync'd), result frame second. A kill in
+                // between loses no completed work — the coordinator
+                // scavenges the manifest.
+                manifest.points[point_idx] = result.trials;
+                try {
+                    exp::writeManifest(manifest_path, manifest);
+                } catch (const std::exception &e) {
+                    std::fprintf(stderr,
+                                 "shard worker: scratch manifest write "
+                                 "failed (crash recovery for this "
+                                 "worker disabled): %s\n",
+                                 e.what());
+                }
+                writeFrame(cfg.outFd, MsgType::kResult,
+                           encodeResult(result));
+                break;
+              }
+              default:
+                return fatal(std::string("unexpected frame: ") +
+                             msgTypeName(frame.type));
+            }
+        }
+    } catch (const ProtocolError &e) {
+        // Pipe gone: the coordinator exited or was killed. Nothing to
+        // report to — leave quietly so a dying sweep doesn't cascade.
+        std::fprintf(stderr, "shard worker: %s\n", e.what());
+        return 4;
+    } catch (const std::exception &e) {
+        // Trial function threw (deterministic failure — retrying on
+        // another worker cannot help) or a local I/O error. Report and
+        // exit; the coordinator aborts the sweep with this message.
+        return fatal(e.what());
+    }
+}
+
+} // namespace shard
+} // namespace ich

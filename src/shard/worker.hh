@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shard worker: the `--shard-worker` mode of every harness binary.
+ *
+ * A worker is a fork/exec'd copy of the harness itself, speaking the
+ * shard protocol over two inherited pipe fds. It looks the scenario up
+ * in the binary's own registry, re-expands the grid, verifies the
+ * expansion fingerprint against the coordinator's, and then runs
+ * assigned grid points with exactly the SweepRunner trial contract:
+ * the same deriveTrialSeed(base, global_index) seeds, the same
+ * TrialContext, the same warm-snapshot forking. Results go back as
+ * raw IEEE-754 metric bits, so a sharded sweep is byte-identical to a
+ * serial one.
+ *
+ * Crash durability: after every completed point the worker appends the
+ * point to a per-worker manifest in its scratch directory (the
+ * standard --resume format, written atomically and fsync'd) *before*
+ * sending the result frame. If the worker is killed between the two,
+ * the coordinator recovers the point from the scratch manifest instead
+ * of re-running it.
+ */
+
+#ifndef ICH_SHARD_WORKER_HH
+#define ICH_SHARD_WORKER_HH
+
+#include <string>
+
+#include "exp/scenario.hh"
+
+namespace ich
+{
+namespace shard
+{
+
+/** Everything `--shard-worker` mode needs from the command line. */
+struct WorkerConfig {
+    int inFd = -1;  ///< frames from the coordinator
+    int outFd = -1; ///< frames to the coordinator
+    std::string scratchDir; ///< per-worker snapshot cache + manifest
+    /**
+     * Failure-injection hook for the kill -9 tests: raise(SIGKILL)
+     * while starting the Nth assigned unit (1-based; <= 0: disabled).
+     */
+    int killAfterUnits = 0;
+};
+
+/**
+ * Run the worker loop until the coordinator sends kShutdown (exit 0),
+ * the pipe closes (exit 4 — the coordinator died, nothing to report
+ * to), or a fatal error was reported upstream (exit 3).
+ */
+int runWorker(const exp::ScenarioRegistry &registry,
+              const WorkerConfig &cfg);
+
+} // namespace shard
+} // namespace ich
+
+#endif // ICH_SHARD_WORKER_HH

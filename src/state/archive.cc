@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace ich
 {
@@ -66,8 +70,12 @@ atomicWriteFile(const std::string &path, const Buffer &data)
     std::size_t written =
         data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
     bool flushed = std::fflush(f) == 0;
+    // Data must be on disk before the rename publishes the file, or a
+    // power cut can leave the *new* name pointing at garbage — atomic
+    // replacement is only atomic if the bytes land first.
+    bool synced = flushed && ::fsync(::fileno(f)) == 0;
     bool closed = std::fclose(f) == 0;
-    if (written != data.size() || !flushed || !closed) {
+    if (written != data.size() || !flushed || !synced || !closed) {
         std::remove(tmp.c_str());
         throw ArchiveError("short write to '" + tmp + "'");
     }
@@ -75,6 +83,19 @@ atomicWriteFile(const std::string &path, const Buffer &data)
         std::remove(tmp.c_str());
         throw ArchiveError("cannot rename '" + tmp + "' to '" + path +
                            "'");
+    }
+    // The rename itself lives in the directory: fsync it too, so the
+    // new directory entry survives a crash. Failure here is not fatal —
+    // the file contents are already durable and the old entry, if any,
+    // was equally consistent.
+    std::string dir(path);
+    std::size_t slash = dir.find_last_of('/');
+    dir = slash == std::string::npos ? std::string(".")
+                                     : dir.substr(0, slash + 1);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
     }
 }
 
