@@ -55,8 +55,8 @@ main()
 
     // 2. Run it on the pool. Trials are independent simulations, so
     //    any --jobs value produces identical aggregates. resumeDir
-    //    makes the sweep resumable: after every completed grid point
-    //    the runner atomically checkpoints a manifest into the results
+    //    makes the sweep resumable: every completed grid point is
+    //    appended durably to a columnar result store in the results
     //    directory (this is what `--resume` enables on the harnesses).
     exp::RunnerOptions opts;
     opts.jobs = 2;
@@ -72,12 +72,12 @@ main()
     std::printf("wrote %s and %s\n", paths.json.c_str(),
                 paths.csv.c_str());
 
-    // 4. Resume: running again finds every point in the manifest and
+    // 4. Resume: running again finds every point in the store and
     //    re-runs nothing — an interrupted sweep restarts the same way,
-    //    re-running only the points the manifest does not yet record.
+    //    re-running only the points the store does not yet record.
     exp::SweepResult resumed = exp::SweepRunner(opts).run(spec);
     std::printf("resumed run: %zu of %zu points restored from %s\n",
                 resumed.resumedPoints, resumed.points.size(),
-                exp::manifestPath("results", spec.name).c_str());
+                exp::resultStorePath("results", spec.name).c_str());
     return 0;
 }

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Assert the peak-RSS relationship between two rss-gate runs.
+
+The CI memory gate runs `bench/perf_sweep --rss-points N --rss-trials T`
+twice with the grid held fixed and the trial count 10x'd, then checks
+that the streaming result path's memory ceiling stayed flat:
+
+    check_rss_flat.py base.log scaled.log --max-ratio 1.3
+
+A second invocation contrasts the legacy materialized path at the same
+size, which must NOT be flat relative to streaming:
+
+    check_rss_flat.py stream.log materialize.log --min-ratio 3.0
+
+Each log must contain a peak-RSS figure in one of two forms:
+
+    Maximum resident set size (kbytes): 17204      (GNU time -v)
+    rss-gate: ... peak_rss_mb=16.8                 (the gate itself)
+
+Both come from getrusage(RUSAGE_SELF).ru_maxrss, so they are
+interchangeable; the self-reported line keeps the gate working on
+runners without GNU time installed.
+"""
+
+import argparse
+import re
+import sys
+
+TIME_V_RE = re.compile(r"Maximum resident set size \(kbytes\):\s*(\d+)")
+SELF_RE = re.compile(r"peak_rss_mb=([0-9]+(?:\.[0-9]+)?)")
+
+
+def peak_rss_mb(path):
+    with open(path, "r", encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    m = TIME_V_RE.search(text)
+    if m:
+        return int(m.group(1)) / 1024.0
+    m = SELF_RE.search(text)
+    if m:
+        return float(m.group(1))
+    print(f"check_rss_flat: {path}: no peak-RSS figure found "
+          "(expected GNU time -v output or an rss-gate line)",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="compare peak RSS across two rss-gate logs")
+    parser.add_argument("base", help="baseline run log")
+    parser.add_argument("scaled", help="scaled-up run log")
+    parser.add_argument("--max-ratio", type=float, default=None,
+                        help="fail if scaled/base exceeds this")
+    parser.add_argument("--min-ratio", type=float, default=None,
+                        help="fail if scaled/base is below this")
+    args = parser.parse_args()
+    if args.max_ratio is None and args.min_ratio is None:
+        parser.error("give at least one of --max-ratio / --min-ratio")
+
+    base = peak_rss_mb(args.base)
+    scaled = peak_rss_mb(args.scaled)
+    if base <= 0:
+        print(f"check_rss_flat: {args.base}: non-positive peak RSS",
+              file=sys.stderr)
+        sys.exit(1)
+    ratio = scaled / base
+    print(f"check_rss_flat: base={base:.1f} MiB scaled={scaled:.1f} MiB "
+          f"ratio={ratio:.2f}")
+
+    ok = True
+    if args.max_ratio is not None and ratio > args.max_ratio:
+        print(f"check_rss_flat: ratio {ratio:.2f} exceeds "
+              f"--max-ratio {args.max_ratio} — the memory ceiling is "
+              "no longer flat", file=sys.stderr)
+        ok = False
+    if args.min_ratio is not None and ratio < args.min_ratio:
+        print(f"check_rss_flat: ratio {ratio:.2f} is below "
+              f"--min-ratio {args.min_ratio} — the contrast run should "
+              "use strictly more memory", file=sys.stderr)
+        ok = False
+    sys.exit(0 if ok else 1)
+
+
+if __name__ == "__main__":
+    main()

@@ -31,15 +31,17 @@ MetricSummary::fromSamples(const std::vector<double> &samples)
 }
 
 const MetricSummary &
-SweepResult::metric(const std::string &name) const
+SweepResult::pointMetric(std::size_t point, const std::string &name) const
 {
-    if (aggregates.empty())
-        throw std::out_of_range("SweepResult::metric: empty sweep");
-    const auto &m = aggregates.front().metrics;
+    if (point >= aggregates.size())
+        throw std::out_of_range("SweepResult::pointMetric: point " +
+                                std::to_string(point) + " of " +
+                                std::to_string(aggregates.size()));
+    const auto &m = aggregates[point].metrics;
     auto it = m.find(name);
     if (it == m.end())
-        throw std::out_of_range("SweepResult::metric: no metric '" + name +
-                                "'");
+        throw std::out_of_range("SweepResult::pointMetric: no metric '" +
+                                name + "'");
     return it->second;
 }
 

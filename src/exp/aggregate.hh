@@ -69,8 +69,14 @@ struct SweepResult {
     /** Points prefilled from a resume manifest instead of re-run. */
     std::size_t resumedPoints = 0;
 
-    /** Aggregate of the first point (single-point sweep convenience). */
-    const MetricSummary &metric(const std::string &name) const;
+    /**
+     * Aggregate of @p name at grid point @p point. Throws
+     * std::out_of_range when the point or the metric does not exist.
+     * (Single-point harnesses use pointMetric(0, name) — the point is
+     * always spelled out; there is no implicit-first-point accessor.)
+     */
+    const MetricSummary &pointMetric(std::size_t point,
+                                     const std::string &name) const;
 };
 
 /**

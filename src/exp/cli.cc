@@ -72,6 +72,8 @@ parseCli(int argc, const char *const *argv)
             saw_out = true;
         } else if (arg == "--resume") {
             cli.resume = true;
+        } else if (arg == "--stream") {
+            cli.stream = true;
         } else if (arg == "--shard") {
             cli.shard = parsePositiveInt(arg, next(i, arg));
         } else if (arg == "--shard-worker") {
@@ -126,6 +128,10 @@ cliUsage(const std::string &prog)
            "results dir\n"
            "                  and skip points an interrupted run "
            "finished\n"
+           "  --stream        memory-bounded results: spill trials to "
+           "the columnar\n"
+           "                  store and aggregate points as they "
+           "complete\n"
            "  --shard N       run sweeps across N worker processes "
            "(byte-identical\n"
            "                  to --jobs 1; combines with --resume)\n"

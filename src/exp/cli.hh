@@ -13,6 +13,11 @@
  *   --resume      resumable sweep: checkpoint completed points (and
  *                 warm snapshots) into the results directory, and skip
  *                 points a previous interrupted run already finished
+ *   --stream      memory-bounded result path: spill trial records to
+ *                 the columnar store in the results directory and
+ *                 aggregate points as they complete, instead of
+ *                 materializing every trial in memory; reports are
+ *                 byte-identical to the materialized path
  *   --shard N     run sweeps across N worker *processes* (fork/exec of
  *                 this binary) instead of in-process threads; results
  *                 are byte-identical to --jobs 1
@@ -54,6 +59,9 @@ struct CliOptions {
     bool csv = false;
     std::string outDir = "results";
     bool resume = false;
+    /** Streaming result path: spill to the column store, aggregate on
+     *  the fly, keep no in-memory trial vector (million-point sweeps). */
+    bool stream = false;
     int shard = 0; ///< > 0: run sweeps across N worker processes
     bool list = false;
     bool help = false;

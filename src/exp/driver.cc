@@ -2,8 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 
+#include "exp/colstore.hh"
+#include "exp/resume.hh"
 #include "exp/runner.hh"
 #include "shard/coordinator.hh"
 #include "shard/worker.hh"
@@ -12,6 +15,41 @@ namespace ich
 {
 namespace exp
 {
+
+namespace
+{
+
+/** Captures the SweepMeta published by beginSweep() (stream mode needs
+ *  it for the store-backed report view and the returned result). */
+class MetaCaptureSink final : public ResultSink
+{
+  public:
+    void beginSweep(const SweepMeta &meta) override { meta_ = meta; }
+    void acceptPoint(std::size_t, const TrialRecord *,
+                     std::size_t) override
+    {
+    }
+    void endSweep() override {}
+    const SweepMeta &meta() const { return meta_; }
+
+  private:
+    SweepMeta meta_;
+};
+
+shard::ShardOptions
+toShardOptions(const CliOptions &cli)
+{
+    shard::ShardOptions sopts;
+    sopts.workers = cli.shard;
+    sopts.seed = cli.seed;
+    sopts.trials = cli.trials;
+    if (cli.resume)
+        sopts.resumeDir = cli.outDir;
+    sopts.workerArgs = cli.shardWorkerArgs;
+    return sopts;
+}
+
+} // namespace
 
 int
 harnessSetup(int argc, const char *const *argv,
@@ -63,20 +101,111 @@ harnessSetup(int argc, const char *const *argv,
     return -1;
 }
 
+namespace
+{
+
+/** Shared report tail: header line, resume note, text table, files. */
+template <typename Sweep>
+void
+printAndWrite(const Sweep &sweep, const CliOptions &cli,
+              const std::string &scenario,
+              const std::string &description, std::size_t resumed,
+              std::size_t num_points)
+{
+    std::printf("%s: %s\n", scenario.c_str(), description.c_str());
+    if (resumed > 0)
+        std::printf("(resumed: %zu of %zu points restored from the "
+                    "result store)\n",
+                    resumed, num_points);
+    std::printf("%s", textReport(sweep).c_str());
+    if (cli.json || cli.csv) {
+        // Report-file failures are fatal for a CLI harness, but must
+        // surface as a clean message, not an uncaught-exception abort.
+        try {
+            ReportOptions ropts;
+            ropts.json = cli.json;
+            ropts.csv = cli.csv;
+            ReportPaths paths = writeReports(sweep, cli.outDir, ropts);
+            if (!paths.json.empty())
+                std::printf("wrote %s\n", paths.json.c_str());
+            if (!paths.csv.empty())
+                std::printf("wrote %s\n", paths.csv.c_str());
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "error: %s\n", e.what());
+            std::exit(1);
+        }
+    }
+    std::printf("\n");
+}
+
+SweepResult
+runAndReportStreaming(const ScenarioSpec &spec, const CliOptions &cli)
+{
+    MetaCaptureSink metacap;
+    StreamingAggregator agg;
+    std::unique_ptr<ColumnStoreWriter> spill;
+    std::vector<ResultSink *> sinks{&metacap, &agg};
+    const std::string store_path =
+        resultStorePath(cli.outDir, spec.name);
+    if (!cli.resume) {
+        // With --resume the runner/coordinator already checkpoints
+        // every point into this exact path; without it, the driver
+        // spills in batch mode so the report view has a store to read.
+        spill = std::make_unique<ColumnStoreWriter>(store_path);
+        sinks.push_back(spill.get());
+    }
+    TeeSink tee(std::move(sinks));
+
+    StreamStats stats;
+    try {
+        if (cli.shard > 0) {
+            stats = shard::runShardedStreaming(spec, toShardOptions(cli),
+                                               tee);
+        } else {
+            SweepRunner runner(toRunnerOptions(cli));
+            stats = runner.runStreaming(spec, tee);
+        }
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+
+    SweepResult result;
+    const SweepMeta &meta = metacap.meta();
+    result.scenario = meta.scenario;
+    result.description = meta.description;
+    result.baseSeed = meta.baseSeed;
+    result.trialsPerPoint = meta.trialsPerPoint;
+    result.points = meta.points;
+    result.aggregates = agg.aggregates();
+    result.jobs = stats.jobs;
+    result.wallSeconds = stats.wallSeconds;
+    result.resumedPoints = stats.resumedPoints;
+
+    try {
+        ColumnStoreReader reader(store_path);
+        StoreSweepView view{meta, agg, reader};
+        printAndWrite(view, cli, meta.scenario, meta.description,
+                      stats.resumedPoints, meta.numPoints());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+    return result;
+}
+
+} // namespace
+
 SweepResult
 runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
 {
+    if (cli.stream)
+        return runAndReportStreaming(spec, cli);
+
     SweepResult result;
     try {
         if (cli.shard > 0) {
-            shard::ShardOptions sopts;
-            sopts.workers = cli.shard;
-            sopts.seed = cli.seed;
-            sopts.trials = cli.trials;
-            if (cli.resume)
-                sopts.resumeDir = cli.outDir;
-            sopts.workerArgs = cli.shardWorkerArgs;
-            result = shard::runSharded(spec, std::move(sopts));
+            result = shard::runSharded(spec, toShardOptions(cli));
         } else {
             SweepRunner runner(toRunnerOptions(cli));
             result = runner.run(spec);
@@ -88,30 +217,8 @@ runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
         std::exit(1);
     }
 
-    std::printf("%s: %s\n", result.scenario.c_str(),
-                result.description.c_str());
-    if (result.resumedPoints > 0)
-        std::printf("(resumed: %zu of %zu points restored from the "
-                    "manifest)\n",
-                    result.resumedPoints, result.points.size());
-    std::printf("%s", textReport(result).c_str());
-    if (cli.json || cli.csv) {
-        // Report-file failures are fatal for a CLI harness, but must
-        // surface as a clean message, not an uncaught-exception abort.
-        try {
-            ReportPaths paths =
-                writeReports(result, cli.outDir, /*include_trials=*/true,
-                             cli.json, cli.csv);
-            if (!paths.json.empty())
-                std::printf("wrote %s\n", paths.json.c_str());
-            if (!paths.csv.empty())
-                std::printf("wrote %s\n", paths.csv.c_str());
-        } catch (const std::exception &e) {
-            std::fprintf(stderr, "error: %s\n", e.what());
-            std::exit(1);
-        }
-    }
-    std::printf("\n");
+    printAndWrite(result, cli, result.scenario, result.description,
+                  result.resumedPoints, result.points.size());
     return result;
 }
 

@@ -48,6 +48,13 @@ int harnessSetup(int argc, const char *const *argv,
 /**
  * Run @p spec with the CLI's runner options, print the scenario header
  * and text report to stdout, and write JSON/CSV reports when requested.
+ *
+ * With --stream, the sweep runs through the ResultSink path instead:
+ * trial records spill to `<out>/<scenario>.colstore` and aggregate as
+ * points complete, reports render from the store view, and the
+ * returned SweepResult carries header/points/aggregates but an *empty*
+ * trials vector — memory stays bounded no matter the grid size. All
+ * printed and written report bytes are identical to the default path.
  */
 SweepResult runAndReport(const ScenarioSpec &spec, const CliOptions &cli);
 

@@ -4,12 +4,17 @@
  *
  * The pieces, bottom-up:
  *  - scenario.hh   declarative ScenarioSpec / parameter axes / registry
+ *  - sink.hh       streaming ResultSink API (aggregator / tee /
+ *                  materializer)
+ *  - colstore.hh   append-only columnar result store (spill + resume +
+ *                  shard scratch)
  *  - runner.hh     SweepRunner: worker-pool fan-out, deterministic seeds
  *  - aggregate.hh  per-point metric summaries + whole-sweep rollups
- *  - resume.hh     completed-points manifest + warm-snapshot cache
- *  - report.hh     text / JSON / CSV reporters
+ *  - resume.hh     completed-points result store + warm-snapshot cache
+ *  - report.hh     text / JSON / CSV reporters (materialized or
+ *                  store-backed)
  *  - cli.hh        shared harness flags (--jobs, --seed, --json, --out,
- *                  --resume)
+ *                  --resume, --stream)
  *  - driver.hh     run-and-report glue for the bench executables
  */
 
@@ -18,11 +23,13 @@
 
 #include "exp/aggregate.hh"
 #include "exp/cli.hh"
+#include "exp/colstore.hh"
 #include "exp/driver.hh"
 #include "exp/json.hh"
 #include "exp/report.hh"
 #include "exp/resume.hh"
 #include "exp/runner.hh"
 #include "exp/scenario.hh"
+#include "exp/sink.hh"
 
 #endif // ICH_EXP_EXP_HH

@@ -2,9 +2,12 @@
 
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <set>
 #include <stdexcept>
 
 #include "common/table.hh"
+#include "exp/colstore.hh"
 #include "exp/json.hh"
 
 namespace ich
@@ -53,16 +56,78 @@ csvEscape(const std::string &s)
     return out;
 }
 
-} // namespace
+/**
+ * The renderers' common denominator: both front ends (materialized
+ * SweepResult, store-backed StoreSweepView) reduce to this, so the
+ * bytes they produce cannot drift apart. forEachTrial streams every
+ * trial record in global-trial-index order; for the store view that is
+ * one pass over the column store (ascending points == global order).
+ */
+struct View {
+    const std::string &scenario;
+    const std::string &description;
+    std::uint64_t baseSeed;
+    int trialsPerPoint;
+    const std::vector<ParamPoint> &points;
+    const std::vector<PointAggregate> &aggregates;
+    std::function<void(const std::function<void(const TrialRecord &)> &)>
+        forEachTrial;
+};
+
+View
+viewOf(const SweepResult &r)
+{
+    return View{r.scenario,
+                r.description,
+                r.baseSeed,
+                r.trialsPerPoint,
+                r.points,
+                r.aggregates,
+                [&r](const std::function<void(const TrialRecord &)> &fn) {
+                    for (const auto &t : r.trials)
+                        fn(t);
+                }};
+}
+
+View
+viewOf(const StoreSweepView &v)
+{
+    const ColumnStoreReader &store = v.store;
+    return View{v.meta.scenario,
+                v.meta.description,
+                v.meta.baseSeed,
+                v.meta.trialsPerPoint,
+                v.meta.points,
+                v.agg.aggregates(),
+                [&store](
+                    const std::function<void(const TrialRecord &)> &fn) {
+                    store.forEachPoint(
+                        [&fn](std::size_t,
+                              const std::vector<TrialRecord> &recs) {
+                            for (const auto &t : recs)
+                                fn(t);
+                        });
+                }};
+}
+
+std::vector<std::string>
+viewMetricNames(const View &v)
+{
+    std::set<std::string> names;
+    for (const auto &pa : v.aggregates)
+        for (const auto &kv : pa.metrics)
+            names.insert(kv.first);
+    return std::vector<std::string>(names.begin(), names.end());
+}
 
 std::string
-textReport(const SweepResult &result)
+textCore(const View &v)
 {
-    std::vector<std::string> metrics = metricNames(result);
+    std::vector<std::string> metrics = viewMetricNames(v);
     std::vector<std::string> header;
     std::vector<std::string> axes;
-    if (!result.points.empty())
-        for (const auto &e : result.points.front().entries())
+    if (!v.points.empty())
+        for (const auto &e : v.points.front().entries())
             axes.push_back(e.name);
     header.insert(header.end(), axes.begin(), axes.end());
     header.insert(header.end(), metrics.begin(), metrics.end());
@@ -70,7 +135,7 @@ textReport(const SweepResult &result)
         return "(empty sweep)\n";
 
     Table t(header);
-    for (const auto &pa : result.aggregates) {
+    for (const auto &pa : v.aggregates) {
         std::vector<std::string> row;
         for (const auto &a : axes)
             row.push_back(pa.point.label(a));
@@ -81,26 +146,26 @@ textReport(const SweepResult &result)
         t.addRow(std::move(row));
     }
     std::string out = t.toString();
-    if (result.trialsPerPoint > 1) {
-        out += "(" + std::to_string(result.trialsPerPoint) +
-               " trials/point, base seed " +
-               std::to_string(result.baseSeed) + ")\n";
+    if (v.trialsPerPoint > 1) {
+        out += "(" + std::to_string(v.trialsPerPoint) +
+               " trials/point, base seed " + std::to_string(v.baseSeed) +
+               ")\n";
     }
     return out;
 }
 
 std::string
-jsonReport(const SweepResult &result, bool include_trials)
+jsonCore(const View &v, bool include_trials)
 {
     JsonWriter w;
     w.beginObject();
-    w.key("scenario").value(result.scenario);
-    w.key("description").value(result.description);
-    w.key("base_seed").value(result.baseSeed);
-    w.key("trials_per_point").value(result.trialsPerPoint);
+    w.key("scenario").value(v.scenario);
+    w.key("description").value(v.description);
+    w.key("base_seed").value(v.baseSeed);
+    w.key("trials_per_point").value(v.trialsPerPoint);
 
     w.key("points").beginArray();
-    for (const auto &pa : result.aggregates) {
+    for (const auto &pa : v.aggregates) {
         w.beginObject();
         w.key("params").beginObject();
         for (const auto &e : pa.point.entries()) {
@@ -120,16 +185,31 @@ jsonReport(const SweepResult &result, bool include_trials)
     }
     w.endArray();
 
+    // Whole-sweep rollups: samples gathered per metric in global trial
+    // order — the exact order rollup() uses, so the store-backed path
+    // emits the same bits. (Quantiles need every sample, so this is the
+    // one reporter stage that is O(trials) doubles, not O(points).)
+    std::vector<std::string> names = viewMetricNames(v);
+    std::map<std::string, std::vector<double>> samples;
+    for (const auto &name : names)
+        samples[name]; // fixed key set: only metrics the sweep emitted
+    v.forEachTrial([&samples](const TrialRecord &t) {
+        for (auto &kv : samples) {
+            auto it = t.metrics.find(kv.first);
+            if (it != t.metrics.end())
+                kv.second.push_back(it->second);
+        }
+    });
     w.key("rollups").beginObject();
-    for (const auto &name : metricNames(result)) {
+    for (const auto &name : names) {
         w.key(name);
-        writeSummary(w, rollup(result, name));
+        writeSummary(w, MetricSummary::fromSamples(samples[name]));
     }
     w.endObject();
 
     if (include_trials) {
         w.key("trials").beginArray();
-        for (const auto &t : result.trials) {
+        v.forEachTrial([&w](const TrialRecord &t) {
             w.beginObject();
             w.key("point").value(
                 static_cast<std::uint64_t>(t.pointIndex));
@@ -140,7 +220,7 @@ jsonReport(const SweepResult &result, bool include_trials)
                 w.key(kv.first).value(kv.second);
             w.endObject();
             w.endObject();
-        }
+        });
         w.endArray();
     }
 
@@ -149,12 +229,12 @@ jsonReport(const SweepResult &result, bool include_trials)
 }
 
 std::string
-csvReport(const SweepResult &result)
+csvCore(const View &v)
 {
-    std::vector<std::string> metrics = metricNames(result);
+    std::vector<std::string> metrics = viewMetricNames(v);
     std::vector<std::string> axes;
-    if (!result.points.empty())
-        for (const auto &e : result.points.front().entries())
+    if (!v.points.empty())
+        for (const auto &e : v.points.front().entries())
             axes.push_back(e.name);
 
     std::string out;
@@ -170,7 +250,7 @@ csvReport(const SweepResult &result)
     }
     out += "\n";
 
-    for (const auto &pa : result.aggregates) {
+    for (const auto &pa : v.aggregates) {
         first = true;
         for (const auto &a : axes) {
             out += (first ? "" : ",") + csvEscape(pa.point.label(a));
@@ -193,8 +273,8 @@ csvReport(const SweepResult &result)
 }
 
 ReportPaths
-writeReports(const SweepResult &result, const std::string &out_dir,
-             bool include_trials, bool write_json, bool write_csv)
+writeCore(const View &v, const std::string &out_dir,
+          const ReportOptions &opts)
 {
     namespace fs = std::filesystem;
     fs::path dir(out_dir);
@@ -216,15 +296,67 @@ writeReports(const SweepResult &result, const std::string &out_dir,
     };
 
     ReportPaths paths;
-    if (write_json) {
-        paths.json = (dir / (result.scenario + ".json")).string();
-        write(paths.json, jsonReport(result, include_trials));
+    if (opts.json) {
+        paths.json = (dir / (v.scenario + ".json")).string();
+        write(paths.json, jsonCore(v, opts.includeTrials));
     }
-    if (write_csv) {
-        paths.csv = (dir / (result.scenario + ".csv")).string();
-        write(paths.csv, csvReport(result));
+    if (opts.csv) {
+        paths.csv = (dir / (v.scenario + ".csv")).string();
+        write(paths.csv, csvCore(v));
     }
     return paths;
+}
+
+} // namespace
+
+std::string
+textReport(const SweepResult &result)
+{
+    return textCore(viewOf(result));
+}
+
+std::string
+textReport(const StoreSweepView &view)
+{
+    return textCore(viewOf(view));
+}
+
+std::string
+jsonReport(const SweepResult &result, bool include_trials)
+{
+    return jsonCore(viewOf(result), include_trials);
+}
+
+std::string
+jsonReport(const StoreSweepView &view, bool include_trials)
+{
+    return jsonCore(viewOf(view), include_trials);
+}
+
+std::string
+csvReport(const SweepResult &result)
+{
+    return csvCore(viewOf(result));
+}
+
+std::string
+csvReport(const StoreSweepView &view)
+{
+    return csvCore(viewOf(view));
+}
+
+ReportPaths
+writeReports(const SweepResult &result, const std::string &out_dir,
+             const ReportOptions &opts)
+{
+    return writeCore(viewOf(result), out_dir, opts);
+}
+
+ReportPaths
+writeReports(const StoreSweepView &view, const std::string &out_dir,
+             const ReportOptions &opts)
+{
+    return writeCore(viewOf(view), out_dir, opts);
 }
 
 } // namespace exp

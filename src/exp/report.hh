@@ -8,6 +8,16 @@
  * (points, seeds, aggregates) — never from execution metadata like the
  * worker count or wall time — so reports are byte-identical across
  * --jobs settings.
+ *
+ * Every reporter has two front ends over one shared renderer:
+ *
+ *  - SweepResult: the materialized path (everything in memory).
+ *  - StoreSweepView: the streaming path — aggregates come from a
+ *    StreamingAggregator, raw trials and whole-sweep rollups are
+ *    re-read from the columnar result store (exp/colstore.hh) in
+ *    ascending point order, which *is* global trial order. Output is
+ *    byte-identical to the materialized path; memory stays bounded by
+ *    one decoded chunk plus the rollup sample vectors.
  */
 
 #ifndef ICH_EXP_REPORT_HH
@@ -16,17 +26,33 @@
 #include <string>
 
 #include "exp/aggregate.hh"
+#include "exp/sink.hh"
 
 namespace ich
 {
 namespace exp
 {
 
+class ColumnStoreReader; // exp/colstore.hh
+
+/**
+ * A sweep viewed through its streamed aggregates and its on-disk
+ * column store, instead of a materialized SweepResult. Pure view: all
+ * three referents must outlive it.
+ */
+struct StoreSweepView {
+    const SweepMeta &meta;
+    const StreamingAggregator &agg;
+    /** Source of raw trials and rollups (must cover the whole grid). */
+    const ColumnStoreReader &store;
+};
+
 /**
  * Column-aligned text table: one row per grid point; axis columns show
  * labels, metric columns show "mean" (single trial) or "mean ±stddev".
  */
 std::string textReport(const SweepResult &result);
+std::string textReport(const StoreSweepView &view);
 
 /**
  * Full JSON document: scenario header, per-point parameter values and
@@ -35,6 +61,8 @@ std::string textReport(const SweepResult &result);
  */
 std::string jsonReport(const SweepResult &result,
                        bool include_trials = true);
+std::string jsonReport(const StoreSweepView &view,
+                       bool include_trials = true);
 
 /**
  * Wide CSV: one row per grid point; axis label columns followed by
@@ -42,6 +70,7 @@ std::string jsonReport(const SweepResult &result,
  * in the JSON report.)
  */
 std::string csvReport(const SweepResult &result);
+std::string csvReport(const StoreSweepView &view);
 
 /** Paths produced by writeReports(); empty when a format was skipped. */
 struct ReportPaths {
@@ -49,15 +78,27 @@ struct ReportPaths {
     std::string csv;
 };
 
+/** Format selection for writeReports(). */
+struct ReportOptions {
+    /** Embed the raw per-trial records in the JSON report. */
+    bool includeTrials = true;
+    /** Write `<scenario>.json`. */
+    bool json = true;
+    /** Write `<scenario>.csv`. */
+    bool csv = true;
+};
+
 /**
  * Write `<scenario>.json` / `<scenario>.csv` into @p out_dir (created,
- * with parents, if missing), for whichever formats are selected.
+ * with parents, if missing), for whichever formats @p opts selects.
  * Throws std::runtime_error on I/O failure.
  */
 ReportPaths writeReports(const SweepResult &result,
                          const std::string &out_dir,
-                         bool include_trials = true,
-                         bool write_json = true, bool write_csv = true);
+                         const ReportOptions &opts = {});
+ReportPaths writeReports(const StoreSweepView &view,
+                         const std::string &out_dir,
+                         const ReportOptions &opts = {});
 
 } // namespace exp
 } // namespace ich

@@ -4,10 +4,9 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
-#include <sstream>
 #include <stdexcept>
 
+#include "exp/colstore.hh"
 #include "state/archive.hh"
 
 namespace ich
@@ -17,9 +16,6 @@ namespace exp
 
 namespace
 {
-
-constexpr char kManifestMagic[] = "ich-sweep-manifest";
-constexpr int kManifestVersion = 1;
 
 std::uint64_t
 fnv1a(const std::string &s, std::uint64_t h = 1469598103934665603ull)
@@ -37,14 +33,6 @@ doubleBits(double v)
     std::uint64_t bits;
     std::memcpy(&bits, &v, sizeof bits);
     return bits;
-}
-
-double
-bitsDouble(std::uint64_t bits)
-{
-    double v;
-    std::memcpy(&v, &bits, sizeof v);
-    return v;
 }
 
 } // namespace
@@ -76,9 +64,9 @@ gridFingerprint(const std::vector<ParamPoint> &points)
 }
 
 std::string
-manifestPath(const std::string &dir, const std::string &scenario)
+resultStorePath(const std::string &dir, const std::string &scenario)
 {
-    return (std::filesystem::path(dir) / (scenario + ".manifest"))
+    return (std::filesystem::path(dir) / (scenario + ".colstore"))
         .string();
 }
 
@@ -96,168 +84,46 @@ warmSnapshotPath(const std::string &dir, const std::string &scenario,
 bool
 loadManifest(const std::string &path, ResumeManifest &out)
 {
-    std::ifstream f(path);
-    if (!f)
-        return false;
-    ResumeManifest m;
-    std::string line;
-
-    auto header_value = [&line](const char *key,
-                                std::string &value) -> bool {
-        std::size_t klen = std::strlen(key);
-        if (line.compare(0, klen, key) != 0 || line.size() < klen + 2 ||
-            line[klen] != ' ')
+    try {
+        ColumnStoreReader reader(path);
+        if (reader.trialsPerPoint() < 1)
             return false;
-        value = line.substr(klen + 1);
+        ResumeManifest m;
+        m.scenario = reader.scenario();
+        m.baseSeed = reader.baseSeed();
+        m.trialsPerPoint = reader.trialsPerPoint();
+        m.numPoints = reader.numPoints();
+        m.gridFp = reader.gridFp();
+        reader.forEachPoint(
+            [&m](std::size_t idx,
+                 const std::vector<TrialRecord> &records) {
+                if (idx >= m.numPoints ||
+                    records.size() !=
+                        static_cast<std::size_t>(m.trialsPerPoint))
+                    throw state::ArchiveError(
+                        "colstore: point shape disagrees with the "
+                        "header");
+                m.points[idx] = records;
+            });
+        out = std::move(m);
         return true;
-    };
-
-    if (!std::getline(f, line))
+    } catch (const state::ArchiveError &) {
+        // Missing, corrupt, or not a column store: treat as absent.
         return false;
-    {
-        std::istringstream is(line);
-        std::string magic;
-        int version = 0;
-        if (!(is >> magic >> version) || magic != kManifestMagic ||
-            version != kManifestVersion)
-            return false;
     }
-    std::string value;
-    if (!std::getline(f, line) || !header_value("scenario", value))
-        return false;
-    m.scenario = value;
-    if (!std::getline(f, line) || !header_value("base_seed", value))
-        return false;
-    m.baseSeed = std::strtoull(value.c_str(), nullptr, 10);
-    if (!std::getline(f, line) ||
-        !header_value("trials_per_point", value))
-        return false;
-    m.trialsPerPoint = std::atoi(value.c_str());
-    if (!std::getline(f, line) || !header_value("num_points", value))
-        return false;
-    m.numPoints = std::strtoull(value.c_str(), nullptr, 10);
-    if (!std::getline(f, line) || !header_value("grid_fp", value))
-        return false;
-    m.gridFp = std::strtoull(value.c_str(), nullptr, 16);
-    if (m.trialsPerPoint < 1)
-        return false;
-
-    bool saw_end = false;
-    std::size_t current_point = 0;
-    bool in_point = false;
-    std::vector<TrialRecord> trials;
-    auto close_point = [&]() -> bool {
-        if (!in_point)
-            return true;
-        if (trials.size() !=
-            static_cast<std::size_t>(m.trialsPerPoint))
-            return false; // partial point: a torn write, drop manifest
-        m.points[current_point] = std::move(trials);
-        trials.clear();
-        in_point = false;
-        return true;
-    };
-
-    while (std::getline(f, line)) {
-        if (line.empty())
-            continue;
-        std::istringstream is(line);
-        std::string tok;
-        is >> tok;
-        if (tok == "point") {
-            if (!close_point())
-                return false;
-            if (!(is >> current_point) ||
-                current_point >= m.numPoints ||
-                m.points.count(current_point))
-                return false;
-            in_point = true;
-        } else if (tok == "trial") {
-            if (!in_point)
-                return false;
-            TrialRecord rec;
-            rec.pointIndex = current_point;
-            std::size_t n_metrics = 0;
-            if (!(is >> rec.trial >> rec.seed >> n_metrics))
-                return false;
-            for (std::size_t i = 0; i < n_metrics; ++i) {
-                std::string pair;
-                if (!(is >> pair))
-                    return false;
-                std::size_t eq = pair.rfind('=');
-                if (eq == std::string::npos ||
-                    pair.size() - eq - 1 != 16)
-                    return false;
-                rec.metrics[pair.substr(0, eq)] = bitsDouble(
-                    std::strtoull(pair.c_str() + eq + 1, nullptr, 16));
-            }
-            if (rec.trial !=
-                static_cast<int>(trials.size()))
-                return false;
-            trials.push_back(std::move(rec));
-        } else if (tok == "end") {
-            if (!close_point())
-                return false;
-            saw_end = true;
-        } else {
-            return false;
-        }
-    }
-    // A manifest without the trailing "end" marker had its final point
-    // records appended but is still structurally sound thanks to the
-    // atomic rename; only complete points were ever written, so accept.
-    if (!close_point())
-        return false;
-    (void)saw_end;
-    out = std::move(m);
-    return true;
 }
 
 void
 writeManifest(const std::string &path, const ResumeManifest &m)
 {
-    std::filesystem::path p(path);
-    if (p.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(p.parent_path(), ec);
-        if (ec)
-            throw std::runtime_error("writeManifest: cannot create '" +
-                                     p.parent_path().string() +
-                                     "': " + ec.message());
-    }
-
-    std::ostringstream os;
-    os << kManifestMagic << ' ' << kManifestVersion << '\n';
-    os << "scenario " << m.scenario << '\n';
-    os << "base_seed " << m.baseSeed << '\n';
-    os << "trials_per_point " << m.trialsPerPoint << '\n';
-    os << "num_points " << m.numPoints << '\n';
-    char hex[32];
-    std::snprintf(hex, sizeof hex, "%016" PRIx64, m.gridFp);
-    os << "grid_fp " << hex << '\n';
-    for (const auto &kv : m.points) {
-        os << "point " << kv.first << '\n';
-        for (const TrialRecord &rec : kv.second) {
-            os << "trial " << rec.trial << ' ' << rec.seed << ' '
-               << rec.metrics.size();
-            for (const auto &metric : rec.metrics) {
-                if (metric.first.find_first_of(" =\n") !=
-                    std::string::npos)
-                    throw std::runtime_error(
-                        "writeManifest: metric name '" + metric.first +
-                        "' contains separator characters");
-                std::snprintf(hex, sizeof hex, "%016" PRIx64,
-                              doubleBits(metric.second));
-                os << ' ' << metric.first << '=' << hex;
-            }
-            os << '\n';
-        }
-    }
-    os << "end\n";
-
-    const std::string text = os.str();
-    state::atomicWriteFile(
-        path, state::Buffer(text.begin(), text.end()));
+    StoreHeader hdr;
+    hdr.scenario = m.scenario;
+    hdr.description = ""; // presentation only; matches() ignores it
+    hdr.baseSeed = m.baseSeed;
+    hdr.trialsPerPoint = m.trialsPerPoint;
+    hdr.numPoints = m.numPoints;
+    hdr.gridFp = m.gridFp;
+    state::atomicWriteFile(path, encodeColumnStore(hdr, m.points));
 }
 
 namespace

@@ -1,21 +1,27 @@
 /**
  * @file
- * Resumable-sweep persistence: the completed-points manifest and the
- * on-disk warm-snapshot cache the SweepRunner writes into the result
- * directory when resume mode is on.
+ * Resumable-sweep persistence: the completed-points result store and
+ * the on-disk warm-snapshot cache the SweepRunner writes into the
+ * result directory when resume mode is on.
  *
- * The manifest is a line-oriented text file recording, for every fully
- * completed grid point, each trial's seed and metrics. Metric values
- * are stored as raw IEEE-754 bit patterns (hex), so a resumed sweep
- * reconstructs them bit-exactly and its aggregates/reports stay
- * byte-identical to an uninterrupted run. A header fingerprinting the
- * grid (scenario, seed, trials, expanded points) guards against
- * resuming into a different sweep.
+ * Completed points live in the append-only columnar store
+ * (exp/colstore.hh) at resultStorePath() — the same file format the
+ * streaming result path spills into, so a finished sweep's store IS
+ * its resume checkpoint. Metric values are raw IEEE-754 bit patterns,
+ * so a resumed sweep reconstructs them bit-exactly and its
+ * aggregates/reports stay byte-identical to an uninterrupted run. The
+ * store header fingerprints the grid (scenario, seed, trials, expanded
+ * points) and guards against resuming into a different sweep.
  *
- * Every write goes through state::atomicWriteFile (write-temp +
- * rename), so a sweep killed mid-flush never leaves a truncated
- * manifest behind: the previous consistent manifest survives and the
- * restart simply redoes the last point.
+ * Checkpointing appends one fsync'd CRC-framed chunk per completed
+ * point — O(1) per point, where the old text manifest rewrote the
+ * whole file each time (O(points²) over a sweep). A kill mid-append
+ * leaves a torn tail that readers drop; every completed point before
+ * it survives.
+ *
+ * The ResumeManifest struct remains the in-memory exchange format for
+ * shard-merge and scavenging; loadManifest()/writeManifest() now read
+ * and atomically write column stores underneath it.
  */
 
 #ifndef ICH_EXP_RESUME_HH
@@ -51,9 +57,9 @@ struct ResumeManifest {
 /** FNV-1a fingerprint of the expanded grid (axes, labels, values). */
 std::uint64_t gridFingerprint(const std::vector<ParamPoint> &points);
 
-/** `<dir>/<scenario>.manifest` */
-std::string manifestPath(const std::string &dir,
-                         const std::string &scenario);
+/** `<dir>/<scenario>.colstore` — the sweep's columnar result store. */
+std::string resultStorePath(const std::string &dir,
+                            const std::string &scenario);
 
 /** `<dir>/<scenario>.warm-<fnv64(key)>.snap` */
 std::string warmSnapshotPath(const std::string &dir,
@@ -61,14 +67,19 @@ std::string warmSnapshotPath(const std::string &dir,
                              const std::string &key);
 
 /**
- * Load a manifest. Returns false when the file is missing or malformed
- * (a malformed manifest is treated as absent: the sweep restarts from
- * scratch rather than failing — resume is an optimization, never a
- * correctness dependency).
+ * Load a column store into a ResumeManifest. Returns false when the
+ * file is missing or unusable (a corrupt store is treated as absent:
+ * the sweep restarts from scratch rather than failing — resume is an
+ * optimization, never a correctness dependency). A torn tail is fine:
+ * every intact point before it loads.
  */
 bool loadManifest(const std::string &path, ResumeManifest &out);
 
-/** Atomically persist @p m (creates the directory when needed). */
+/**
+ * Atomically persist @p m as a whole column store (creates the
+ * directory when needed). This is the rewrite path for merges; the
+ * incremental checkpoint path is ColumnStoreWriter in durable mode.
+ */
 void writeManifest(const std::string &path, const ResumeManifest &m);
 
 /**

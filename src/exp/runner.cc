@@ -10,6 +10,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "exp/colstore.hh"
 #include "exp/resume.hh"
 #include "state/archive.hh"
 
@@ -35,8 +36,8 @@ struct WarmTable {
  * Group points by warmup key and materialize each key's snapshot,
  * skipping keys whose every point is already complete (@p point_done).
  * Cached `.snap` files are reused only when @p trust_cache — i.e. the
- * result directory's manifest matched this sweep, the sole witness
- * that the cache was produced by the same warmup; otherwise they are
+ * result directory's store matched this sweep, the sole witness that
+ * the cache was produced by the same warmup; otherwise they are
  * recomputed and overwritten. Computation fans out on @p jobs workers:
  * warmups are independent by the determinism contract.
  */
@@ -152,101 +153,133 @@ resolveJobs(int jobs)
 
 SweepRunner::SweepRunner(RunnerOptions opts) : opts_(std::move(opts)) {}
 
-SweepResult
-SweepRunner::run(const ScenarioSpec &spec) const
+StreamStats
+SweepRunner::runStreaming(const ScenarioSpec &spec, ResultSink &sink) const
 {
     if (!spec.run)
         throw std::invalid_argument("SweepRunner: scenario '" + spec.name +
                                     "' has no trial function");
 
-    SweepResult result;
-    result.scenario = spec.name;
-    result.description = spec.description;
-    result.baseSeed = opts_.seed.value_or(spec.baseSeed);
-    result.trialsPerPoint = opts_.trials.value_or(spec.trials);
-    if (result.trialsPerPoint < 1)
+    SweepMeta meta;
+    meta.scenario = spec.name;
+    meta.description = spec.description;
+    meta.baseSeed = opts_.seed.value_or(spec.baseSeed);
+    meta.trialsPerPoint = opts_.trials.value_or(spec.trials);
+    if (meta.trialsPerPoint < 1)
         throw std::invalid_argument("SweepRunner: trials must be >= 1");
-    result.points = expandPoints(spec);
-    result.jobs = resolveJobs(opts_.jobs);
+    meta.points = expandPoints(spec);
+    meta.gridFp = gridFingerprint(meta.points);
+
+    StreamStats stats;
+    stats.points = meta.points.size();
+    stats.jobs = resolveJobs(opts_.jobs);
 
     const std::size_t trials_per_point =
-        static_cast<std::size_t>(result.trialsPerPoint);
-    const std::size_t total = result.points.size() * trials_per_point;
-    result.trials.resize(total);
+        static_cast<std::size_t>(meta.trialsPerPoint);
+    const std::size_t n_points = meta.points.size();
+    const std::size_t total = n_points * trials_per_point;
 
     auto t0 = std::chrono::steady_clock::now();
 
-    // Resume: prefill points completed by a previous matching run.
-    // This happens before warmups so fully resumed warm groups are
-    // never re-simulated, and so the warm-snapshot cache is reused
-    // only when the manifest vouches for the result directory.
-    ResumeManifest manifest;
-    manifest.scenario = result.scenario;
-    manifest.baseSeed = result.baseSeed;
-    manifest.trialsPerPoint = result.trialsPerPoint;
-    manifest.numPoints = result.points.size();
-    manifest.gridFp = gridFingerprint(result.points);
-    std::vector<char> point_done(result.points.size(), 0);
+    sink.beginSweep(meta);
+
+    // Resume: replay points completed by a previous matching run into
+    // the sink (index order), before warmups so fully resumed warm
+    // groups are never re-simulated, and so the warm-snapshot cache is
+    // reused only when the store vouches for the result directory.
+    std::vector<char> point_done(n_points, 0);
     const bool resumable = !opts_.resumeDir.empty();
-    bool manifest_matched = false;
-    std::string manifest_path;
+    bool store_matched = false;
+    std::string store_path;
     if (resumable) {
-        manifest_path = manifestPath(opts_.resumeDir, result.scenario);
-        ResumeManifest prior;
-        if (loadManifest(manifest_path, prior)) {
-            if (prior.matches(manifest)) {
-                manifest_matched = true;
-                for (auto &kv : prior.points) {
-                    for (std::size_t t = 0; t < trials_per_point; ++t)
-                        result.trials[kv.first * trials_per_point + t] =
-                            kv.second[t];
-                    point_done[kv.first] = 1;
-                    manifest.points[kv.first] = std::move(kv.second);
-                }
-                result.resumedPoints = manifest.points.size();
+        store_path = resultStorePath(opts_.resumeDir, meta.scenario);
+        try {
+            ColumnStoreReader prior(store_path);
+            if (prior.matches(meta)) {
+                store_matched = true;
+                prior.forEachPoint(
+                    [&](std::size_t idx,
+                        const std::vector<TrialRecord> &records) {
+                        sink.acceptPoint(idx, records.data(),
+                                         records.size());
+                        point_done[idx] = 1;
+                        ++stats.resumedPoints;
+                    });
             } else {
                 std::fprintf(stderr,
                              "warning: %s does not match this sweep "
                              "(grid/seed/trials changed) — restarting "
                              "from scratch\n",
-                             manifest_path.c_str());
+                             store_path.c_str());
             }
+        } catch (const state::ArchiveError &) {
+            // Missing or unusable store: start fresh.
         }
     }
 
-    // Pending work: the flat trial indices of not-yet-complete points.
-    std::vector<std::size_t> pending;
-    pending.reserve(total);
-    for (std::size_t idx = 0; idx < total; ++idx)
-        if (!point_done[idx / trials_per_point])
-            pending.push_back(idx);
+    // Durable checkpoint: O(1) fsync'd append per completed point. The
+    // writer adopts a matching store (it will not re-append the points
+    // replayed above) and recreates a stale one. Checkpointing is an
+    // optimization, never worth the sweep: any failure warns once and
+    // disables it.
+    std::unique_ptr<ColumnStoreWriter> checkpoint;
+    std::atomic<bool> checkpoint_ok{false};
+    if (resumable) {
+        try {
+            ColumnStoreWriter::Options copts;
+            copts.durable = true;
+            checkpoint.reset(new ColumnStoreWriter(store_path, copts));
+            checkpoint->beginSweep(meta);
+            checkpoint_ok.store(true);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "warning: sweep checkpointing disabled: %s\n",
+                         e.what());
+            checkpoint.reset();
+        }
+    }
+
+    // Pending work: the flat trial indices of not-yet-complete points,
+    // point-major — workers march through one point's trials before
+    // opening the next, so the open-point set stays O(jobs). The list
+    // is implicit (a cursor over [0, total) that skips resumed points):
+    // materializing it would cost O(total trials) memory, the very
+    // class of residual the streaming path exists to avoid.
+    std::size_t done_points = 0;
+    for (std::size_t p = 0; p < n_points; ++p)
+        done_points += point_done[p] ? 1 : 0;
+    const std::size_t pending_trials =
+        (n_points - done_points) * trials_per_point;
 
     // Warm-state forking: one warmup per unique key with pending work.
     WarmTable warm;
-    if (spec.warmup && !pending.empty())
-        warm = buildWarmTable(spec, result.points, result.jobs,
-                              opts_.resumeDir, manifest_matched,
+    if (spec.warmup && pending_trials > 0)
+        warm = buildWarmTable(spec, meta.points, stats.jobs,
+                              opts_.resumeDir, store_matched,
                               point_done);
 
-    // Per-point countdown driving the manifest flush; acq_rel on the
-    // final decrement makes every sibling trial's record visible to
-    // the flushing worker.
-    std::unique_ptr<std::atomic<int>[]> remaining;
-    std::mutex manifest_mu;
-    std::atomic<bool> manifest_ok{true};
-    if (resumable) {
-        remaining.reset(new std::atomic<int>[result.points.size()]);
-        for (std::size_t p = 0; p < result.points.size(); ++p)
-            remaining[p].store(static_cast<int>(trials_per_point),
-                               std::memory_order_relaxed);
-    }
+    // In-flight point buffers, allocated on first touch and released
+    // the moment the point is handed to the sink. The outer vector is
+    // index stability (never resized); only the inner vectors churn.
+    std::vector<std::vector<TrialRecord>> open(n_points);
+    std::mutex open_mu;
 
-    // Work distribution: an atomic cursor over the pending-trial list.
-    // Workers write only their own pre-sized slot, so no result
-    // ordering depends on scheduling.
+    // Per-point countdown driving the sink hand-off; acq_rel on the
+    // final decrement makes every sibling trial's record visible to
+    // the handing worker.
+    std::unique_ptr<std::atomic<int>[]> remaining(
+        new std::atomic<int>[n_points]);
+    for (std::size_t p = 0; p < n_points; ++p)
+        remaining[p].store(static_cast<int>(trials_per_point),
+                           std::memory_order_relaxed);
+
+    // Work distribution: an atomic cursor over the flat trial range.
+    // Workers write only their own trial slot, so no result ordering
+    // depends on scheduling.
     std::atomic<std::size_t> cursor{0};
+    std::mutex sink_mu;
     std::mutex progress_mu;
-    std::size_t completed = total - pending.size(); // under progress_mu
+    std::size_t completed = total - pending_trials; // under progress_mu
     std::mutex error_mu;
     std::size_t first_error_idx = total;
     std::string first_error_msg;
@@ -261,21 +294,30 @@ SweepRunner::run(const ScenarioSpec &spec) const
         }
         // The sweep is doomed; drain the queue so in-flight trials are
         // the only remaining work instead of running the whole grid.
-        cursor.store(pending.size());
+        cursor.store(total);
     };
 
     auto worker = [&]() {
         for (;;) {
-            std::size_t slot = cursor.fetch_add(1);
-            if (slot >= pending.size())
+            std::size_t idx = cursor.fetch_add(1);
+            if (idx >= total)
                 return;
-            std::size_t idx = pending[slot];
             std::size_t point_idx = idx / trials_per_point;
-            TrialRecord &rec = result.trials[idx];
+            if (point_done[point_idx])
+                continue; // resumed point: already in the sink
+            {
+                // First toucher allocates the point's trial buffer;
+                // afterwards siblings write disjoint slots lock-free.
+                std::lock_guard<std::mutex> lock(open_mu);
+                if (open[point_idx].empty())
+                    open[point_idx].resize(trials_per_point);
+            }
+            TrialRecord &rec =
+                open[point_idx][idx % trials_per_point];
             rec.pointIndex = point_idx;
             rec.trial = static_cast<int>(idx % trials_per_point);
-            rec.seed = deriveTrialSeed(result.baseSeed, idx);
-            TrialContext ctx{result.points[point_idx], point_idx,
+            rec.seed = deriveTrialSeed(meta.baseSeed, idx);
+            TrialContext ctx{meta.points[point_idx], point_idx,
                              rec.trial, rec.seed,
                              spec.warmup
                                  ? &warm.buffers[warm.pointToKey
@@ -293,30 +335,30 @@ SweepRunner::run(const ScenarioSpec &spec) const
                 ok = false;
                 record_error(idx, "unknown exception type");
             }
-            if (ok && resumable && manifest_ok.load() &&
-                remaining[point_idx].fetch_sub(
-                    1, std::memory_order_acq_rel) == 1) {
-                // Last trial of this point: persist it. The whole-file
-                // rewrite is atomic (temp + rename), so an interrupt
-                // here costs at most this one point on restart.
-                std::lock_guard<std::mutex> lock(manifest_mu);
-                auto &recs = manifest.points[point_idx];
-                recs.assign(result.trials.begin() +
-                                point_idx * trials_per_point,
-                            result.trials.begin() +
-                                (point_idx + 1) * trials_per_point);
-                try {
-                    writeManifest(manifest_path, manifest);
-                } catch (const std::exception &e) {
-                    // Checkpointing is an optimization, never worth
-                    // the sweep (and a throw would escape the thread
-                    // and std::terminate): warn once and carry on
-                    // without resume support.
-                    if (manifest_ok.exchange(false))
-                        std::fprintf(stderr,
-                                     "warning: sweep checkpointing "
-                                     "disabled: %s\n",
-                                     e.what());
+            if (ok && remaining[point_idx].fetch_sub(
+                          1, std::memory_order_acq_rel) == 1) {
+                // Last trial of this point: hand it to the sink and
+                // drop the buffer. Sink calls are serialized here.
+                std::lock_guard<std::mutex> lock(sink_mu);
+                std::vector<TrialRecord> records;
+                records.swap(open[point_idx]);
+                sink.acceptPoint(point_idx, records.data(),
+                                 records.size());
+                if (checkpoint_ok.load()) {
+                    try {
+                        checkpoint->acceptPoint(point_idx,
+                                                records.data(),
+                                                records.size());
+                    } catch (const std::exception &e) {
+                        // A throw would escape the thread and
+                        // std::terminate: warn once and carry on
+                        // without resume support.
+                        if (checkpoint_ok.exchange(false))
+                            std::fprintf(stderr,
+                                         "warning: sweep checkpointing "
+                                         "disabled: %s\n",
+                                         e.what());
+                    }
                 }
             }
             if (opts_.progress) {
@@ -329,7 +371,7 @@ SweepRunner::run(const ScenarioSpec &spec) const
     };
 
     int n_workers = static_cast<int>(
-        std::min<std::size_t>(result.jobs, pending.size()));
+        std::min<std::size_t>(stats.jobs, pending_trials));
     if (n_workers <= 1) {
         worker();
     } else {
@@ -340,7 +382,7 @@ SweepRunner::run(const ScenarioSpec &spec) const
         for (auto &t : pool)
             t.join();
     }
-    result.wallSeconds =
+    stats.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
 
@@ -348,10 +390,33 @@ SweepRunner::run(const ScenarioSpec &spec) const
         throw std::runtime_error(
             "scenario '" + spec.name + "': trial " +
             std::to_string(first_error_idx) + " (" +
-            result.points[first_error_idx / trials_per_point].toString() +
+            meta.points[first_error_idx / trials_per_point].toString() +
             ") failed: " + first_error_msg);
     }
 
+    sink.endSweep();
+    if (checkpoint_ok.load()) {
+        try {
+            checkpoint->endSweep();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "warning: result store footer not written: "
+                         "%s\n",
+                         e.what());
+        }
+    }
+    return stats;
+}
+
+SweepResult
+SweepRunner::run(const ScenarioSpec &spec) const
+{
+    MaterializeSink materialize;
+    StreamStats stats = runStreaming(spec, materialize);
+    SweepResult result = materialize.take();
+    result.jobs = stats.jobs;
+    result.wallSeconds = stats.wallSeconds;
+    result.resumedPoints = stats.resumedPoints;
     result.aggregates = aggregate(result.points, result.trials);
     return result;
 }

@@ -5,10 +5,15 @@
  *
  * Trials are embarrassingly parallel — each constructs its own
  * Simulation from a seed derived deterministically from
- * (base_seed, global_trial_index) — so results land in a pre-sized slot
- * vector indexed by global trial index and are aggregated serially
- * afterwards. A sweep run with --jobs 1 and --jobs N therefore produces
- * byte-identical aggregates and reports.
+ * (base_seed, global_trial_index) — so a sweep run with --jobs 1 and
+ * --jobs N produces byte-identical aggregates and reports.
+ *
+ * runStreaming() is the engine: completed points are pushed into a
+ * ResultSink the moment their last trial lands, and the runner retains
+ * only the points still in flight (O(jobs) buffers, not O(grid)).
+ * run() is the compatibility wrapper — a MaterializeSink plus the
+ * serial aggregate() pass — and doubles as the byte-identity oracle
+ * for the streaming path.
  */
 
 #ifndef ICH_EXP_RUNNER_HH
@@ -20,6 +25,7 @@
 
 #include "exp/aggregate.hh"
 #include "exp/scenario.hh"
+#include "exp/sink.hh"
 
 namespace ich
 {
@@ -42,8 +48,9 @@ struct RunnerOptions {
     /**
      * Resumable-sweep directory (empty: off). When set, the runner
      * (a) skips grid points recorded as complete in
-     * `<dir>/<scenario>.manifest` from a previous matching run,
-     * (b) flushes the manifest atomically after every completed point,
+     * `<dir>/<scenario>.colstore` from a previous matching run,
+     * (b) appends every completed point to that store durably
+     * (fsync'd CRC-framed chunks — O(1) per point),
      * and (c) caches warm-state snapshots as `<scenario>.warm-*.snap`
      * so a restart does not re-simulate warmup either. Results are
      * byte-identical to an uninterrupted run (metrics round-trip as
@@ -62,9 +69,20 @@ class SweepRunner
 
     /**
      * Expand the grid, compute warm-state snapshots (once per unique
-     * warmup key), run trials on the pool, aggregate. Throws
-     * std::runtime_error carrying the first failing trial's message if
-     * any trial threw.
+     * warmup key), run trials on the pool, and stream each completed
+     * point into @p sink (completion order; see exp/sink.hh for the
+     * contract). Memory stays O(open points), independent of grid
+     * size. Throws std::runtime_error carrying the first failing
+     * trial's message if any trial threw — in that case endSweep() is
+     * never called.
+     */
+    StreamStats runStreaming(const ScenarioSpec &spec,
+                             ResultSink &sink) const;
+
+    /**
+     * Materializing wrapper over runStreaming(): returns the full
+     * SweepResult with serial aggregates. O(total trials) memory, by
+     * design — prefer runStreaming() for large grids.
      */
     SweepResult run(const ScenarioSpec &spec) const;
 

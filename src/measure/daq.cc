@@ -44,6 +44,14 @@ Daq::start(Time until)
     if (now > until_)
         return;
     running_ = true;
+    // The sample count is known up front: one per interval plus the
+    // immediate sample below. Reserve (capped — a pathological window
+    // must not balloon the reservation) so recording never reallocates
+    // mid-sweep.
+    std::size_t expect = static_cast<std::size_t>(std::min<Time>(
+        (until_ - now) / interval_ + 2, Time(1) << 20));
+    for (auto &t : traces_)
+        t->reserve(expect);
     sampleNow();
     // Phase-align the rate group so ticks land on t0 + k*interval.
     ticker_.add(*this, TickRate{interval_, now % interval_, 0},

@@ -2,6 +2,12 @@
  * @file
  * Time-series traces recorded by the DAQ sampler (the software stand-in
  * for the paper's NI-DAQ PCIe-6376 measurement rig, Fig. 5).
+ *
+ * Traces persist on the same CRC-framed columnar chunk format as the
+ * sweep result store (state/chunkio.hh): a header frame naming the
+ * series, then data frames holding a time column and a raw-IEEE-754
+ * value column — bit-exact round trips, torn tails recover the intact
+ * sample prefix, corrupt frames are rejected loudly.
  */
 
 #ifndef ICH_MEASURE_TRACE_HH
@@ -14,6 +20,12 @@
 
 namespace ich
 {
+
+/** Chunk kinds inside a columnar trace file. */
+constexpr std::uint32_t kTraceChunkHeader = 1;
+constexpr std::uint32_t kTraceChunkData = 2;
+/** "TRC1": distinguishes a trace header from other chunk-file users. */
+constexpr std::uint32_t kTraceFormatTag = 0x31435254u;
 
 /** One sampled point. */
 struct TracePoint {
@@ -28,23 +40,53 @@ class Trace
     explicit Trace(std::string name) : name_(std::move(name)) {}
 
     const std::string &name() const { return name_; }
-    void add(Time t, double v) { points_.push_back({t, v}); }
+    void add(Time t, double v)
+    {
+        if (!points_.empty() && t < points_.back().time)
+            sorted_ = false;
+        points_.push_back({t, v});
+    }
     const std::vector<TracePoint> &points() const { return points_; }
     std::size_t size() const { return points_.size(); }
+
+    /** Pre-size the sample buffer (DAQ knows the sample count). */
+    void reserve(std::size_t n) { points_.reserve(n); }
+
+    /** True while samples have arrived in non-decreasing time order
+     *  (always the case for DAQ recordings). */
+    bool sorted() const { return sorted_; }
 
     double minValue() const;
     double maxValue() const;
     double meanValue() const;
 
-    /** Value of the last sample at or before @p t (0 if none). */
+    /**
+     * Value of the last sample at or before @p t (0 if none).
+     * O(log n) binary search while the series is time-sorted; the
+     * legacy linear scan only for out-of-order hand-built traces.
+     */
     double valueAt(Time t) const;
 
     /** "time_us value" rows, decimated to at most @p max_rows. */
     std::string toRows(std::size_t max_rows = 200) const;
 
+    /**
+     * Spill the series to @p path on the columnar chunk format (see
+     * the file comment). Throws state::ArchiveError on I/O failure.
+     */
+    void saveColumnar(const std::string &path) const;
+
+    /**
+     * Load a spilled series. A torn tail yields the intact prefix; a
+     * corrupt frame or a non-trace chunk file throws
+     * state::ArchiveError.
+     */
+    static Trace loadColumnar(const std::string &path);
+
   private:
     std::string name_;
     std::vector<TracePoint> points_;
+    bool sorted_ = true;
 };
 
 } // namespace ich

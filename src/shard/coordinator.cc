@@ -9,6 +9,7 @@
 #include <deque>
 #include <filesystem>
 #include <map>
+#include <memory>
 #include <set>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "exp/colstore.hh"
 #include "exp/resume.hh"
 #include "shard/hash_ring.hh"
 #include "shard/protocol.hh"
@@ -66,54 +68,65 @@ setFdFlags(int fd)
     ::fcntl(fd, F_SETFD, fdfl | FD_CLOEXEC);
 }
 
-/** Bit-exact comparison of the doubles in two metric maps. */
-bool
-metricsBitEqual(const exp::MetricMap &a, const exp::MetricMap &b)
+/**
+ * FNV-1a content fingerprint of one point's trial records (trial,
+ * seed, metric names and raw double bits). Duplicate completions are
+ * verified against this 64-bit hash instead of retained records — the
+ * trade that keeps coordinator memory O(points), not O(records). A
+ * disagreeing duplicate always hashes differently; a colliding *and*
+ * corrupt duplicate would additionally have to pass the per-frame CRC
+ * and the seed-schedule check to slip through.
+ */
+std::uint64_t
+pointHash(const std::vector<exp::TrialRecord> &records)
 {
-    if (a.size() != b.size())
-        return false;
-    auto ia = a.begin();
-    for (auto ib = b.begin(); ib != b.end(); ++ia, ++ib) {
-        if (ia->first != ib->first)
-            return false;
-        if (std::memcmp(&ia->second, &ib->second, sizeof(double)) != 0)
-            return false;
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix_byte = [&h](std::uint8_t b) {
+        h ^= b;
+        h *= 1099511628211ull;
+    };
+    auto mix64 = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i)
+            mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    };
+    for (const exp::TrialRecord &rec : records) {
+        mix64(static_cast<std::uint64_t>(rec.trial));
+        mix64(rec.seed);
+        mix64(rec.metrics.size());
+        for (const auto &kv : rec.metrics) {
+            for (unsigned char c : kv.first)
+                mix_byte(c);
+            mix_byte(0); // name terminator: "ab"+"c" != "a"+"bc"
+            std::uint64_t bits;
+            std::memcpy(&bits, &kv.second, sizeof bits);
+            mix64(bits);
+        }
     }
-    return true;
-}
-
-bool
-recordsBitEqual(const std::vector<exp::TrialRecord> &a,
-                const std::vector<exp::TrialRecord> &b)
-{
-    if (a.size() != b.size())
-        return false;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        if (a[i].trial != b[i].trial || a[i].seed != b[i].seed ||
-            a[i].pointIndex != b[i].pointIndex ||
-            !metricsBitEqual(a[i].metrics, b[i].metrics))
-            return false;
-    }
-    return true;
+    return h;
 }
 
 /** The whole mutable state of one sharded sweep. */
 struct Run {
     const exp::ScenarioSpec &spec;
     const ShardOptions &opts; ///< binaryPath already resolved
-    exp::SweepResult result;
+    exp::SweepMeta meta;
+    exp::ResultSink &sink; ///< adopted points stream out through this
     std::size_t trialsPerPoint = 1;
 
     std::vector<std::string> pointKey; ///< placement key per point
     std::vector<char> completed;
     std::size_t completedPoints = 0;
+    std::vector<std::uint64_t> recHash; ///< pointHash per completed point
     std::vector<int> attempts;       ///< deaths while holding the unit
     std::deque<std::size_t> orphans; ///< reassigned units awaiting a home
 
-    exp::ResumeManifest manifest; ///< always tracked; persisted on resume
+    exp::ResumeManifest header; ///< sweep identity (points map unused)
     bool resumable = false;
-    bool manifestMatched = false;
-    std::string manifestPath;
+    bool storeMatched = false;
+    std::string storePath;
+    /** Durable O(1)-per-point checkpoint of the result directory. */
+    std::unique_ptr<exp::ColumnStoreWriter> checkpoint;
+    bool checkpointOk = false;
 
     std::map<std::string, state::Buffer> snapCache;
 
@@ -121,8 +134,9 @@ struct Run {
     std::string runDir; ///< per-run scratch (removed on clean exit)
     Buffer helloPayload;
 
-    Run(const exp::ScenarioSpec &s, const ShardOptions &o)
-        : spec(s), opts(o)
+    Run(const exp::ScenarioSpec &s, const ShardOptions &o,
+        exp::ResultSink &k)
+        : spec(s), opts(o), sink(k)
     {
     }
 
@@ -347,43 +361,45 @@ struct Run {
             std::uint64_t global_idx =
                 static_cast<std::uint64_t>(point_idx) * trialsPerPoint + t;
             std::uint64_t want =
-                exp::deriveTrialSeed(result.baseSeed, global_idx);
+                exp::deriveTrialSeed(header.baseSeed, global_idx);
             if (records[t].trial != static_cast<int>(t) ||
-                records[t].seed != want)
+                records[t].seed != want ||
+                records[t].pointIndex != point_idx)
                 fail(origin +
                      " drifted from the per-trial seed schedule at "
                      "point " +
                      std::to_string(point_idx) +
                      " (corrupt or mismatched worker)");
         }
+        std::uint64_t h = pointHash(records);
         if (completed[point_idx]) {
             // A unit can legitimately complete twice after a worker
             // death (finished in scratch, then reassigned). Identical
             // bits dedupe silently; different bits mean corruption or a
             // nondeterministic trial function — never paper over that.
-            if (!recordsBitEqual(manifest.points[point_idx], records))
+            if (recHash[point_idx] != h)
                 fail("duplicate results for point " +
                      std::to_string(point_idx) +
                      " disagree bit-for-bit (corruption or "
                      "nondeterministic trial function)");
             return;
         }
-        for (std::size_t t = 0; t < records.size(); ++t)
-            result.trials[point_idx * trialsPerPoint + t] = records[t];
-        manifest.points[point_idx] = records;
-        completed[point_idx] = 1;
-        ++completedPoints;
-        if (resumable) {
+        sink.acceptPoint(point_idx, records.data(), records.size());
+        if (checkpointOk) {
             try {
-                exp::writeManifest(manifestPath, manifest);
+                checkpoint->acceptPoint(point_idx, records.data(),
+                                        records.size());
             } catch (const std::exception &e) {
                 std::fprintf(stderr,
                              "warning: sweep checkpointing disabled: "
                              "%s\n",
                              e.what());
-                resumable = false;
+                checkpointOk = false;
             }
         }
+        recHash[point_idx] = h;
+        completed[point_idx] = 1;
+        ++completedPoints;
         if (opts.progress)
             opts.progress(completedPoints * trialsPerPoint,
                           completed.size() * trialsPerPoint);
@@ -395,7 +411,7 @@ struct Run {
         switch (frame.type) {
           case MsgType::kHelloAck: {
             HelloAckMsg ack = decodeHelloAck(frame.payload);
-            if (ack.gridFp != manifest.gridFp)
+            if (ack.gridFp != header.gridFp)
                 fail("worker " + std::to_string(idx) +
                      " expanded a different grid (fingerprint mismatch "
                      "— mixed binaries?)");
@@ -445,13 +461,13 @@ struct Run {
     {
         Slot &s = slots[idx];
         exp::ResumeManifest scavenged;
-        if (!exp::loadManifest(exp::manifestPath(s.scratch, spec.name),
-                               scavenged))
+        if (!exp::loadManifest(
+                exp::resultStorePath(s.scratch, spec.name), scavenged))
             return;
-        if (!scavenged.matches(manifest))
+        if (!scavenged.matches(header))
             return; // stale scratch from an unrelated run
         std::string origin =
-            "worker " + std::to_string(idx) + " (scratch manifest)";
+            "worker " + std::to_string(idx) + " (scratch store)";
         for (const auto &kv : scavenged.points)
             adoptPoint(kv.first, kv.second, origin);
 
@@ -488,7 +504,7 @@ struct Run {
                 continue;
             if (++attempts[unit] >= opts.maxUnitAttempts)
                 fail("point " + std::to_string(unit) + " (" +
-                     result.points[unit].toString() + ") died with " +
+                     meta.points[unit].toString() + ") died with " +
                      std::to_string(attempts[unit]) +
                      " workers (attempt limit " +
                      std::to_string(opts.maxUnitAttempts) + ")");
@@ -723,8 +739,9 @@ ShardCoordinator::ShardCoordinator(ShardOptions opts)
 {
 }
 
-exp::SweepResult
-ShardCoordinator::run(const exp::ScenarioSpec &spec) const
+exp::StreamStats
+ShardCoordinator::runStreaming(const exp::ScenarioSpec &spec,
+                               exp::ResultSink &sink) const
 {
     if (!spec.run)
         throw std::invalid_argument("ShardCoordinator: scenario '" +
@@ -742,75 +759,103 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
     if (resolved.binaryPath.empty())
         resolved.binaryPath = selfExecutablePath();
 
-    Run run(spec, resolved);
-    exp::SweepResult &result = run.result;
-    result.scenario = spec.name;
-    result.description = spec.description;
-    result.baseSeed = resolved.seed.value_or(spec.baseSeed);
-    result.trialsPerPoint = resolved.trials.value_or(spec.trials);
-    if (result.trialsPerPoint < 1)
+    Run run(spec, resolved, sink);
+    run.meta.scenario = spec.name;
+    run.meta.description = spec.description;
+    run.meta.baseSeed = resolved.seed.value_or(spec.baseSeed);
+    run.meta.trialsPerPoint = resolved.trials.value_or(spec.trials);
+    if (run.meta.trialsPerPoint < 1)
         throw std::invalid_argument(
             "ShardCoordinator: trials must be >= 1");
-    result.points = expandPoints(spec);
-    run.trialsPerPoint = static_cast<std::size_t>(result.trialsPerPoint);
-    result.trials.resize(result.points.size() * run.trialsPerPoint);
-    result.jobs = resolved.workers;
+    run.meta.points = expandPoints(spec);
+    run.meta.gridFp = exp::gridFingerprint(run.meta.points);
+    run.trialsPerPoint =
+        static_cast<std::size_t>(run.meta.trialsPerPoint);
+    const std::size_t n_points = run.meta.points.size();
+
+    exp::StreamStats stats;
+    stats.points = n_points;
+    stats.jobs = resolved.workers;
 
     auto t0 = Clock::now();
 
-    run.manifest.scenario = result.scenario;
-    run.manifest.baseSeed = result.baseSeed;
-    run.manifest.trialsPerPoint = result.trialsPerPoint;
-    run.manifest.numPoints = result.points.size();
-    run.manifest.gridFp = exp::gridFingerprint(result.points);
-    run.completed.assign(result.points.size(), 0);
-    run.attempts.assign(result.points.size(), 0);
+    run.header.scenario = run.meta.scenario;
+    run.header.baseSeed = run.meta.baseSeed;
+    run.header.trialsPerPoint = run.meta.trialsPerPoint;
+    run.header.numPoints = n_points;
+    run.header.gridFp = run.meta.gridFp;
+    run.completed.assign(n_points, 0);
+    run.recHash.assign(n_points, 0);
+    run.attempts.assign(n_points, 0);
 
+    sink.beginSweep(run.meta);
+
+    // Resume: replay points completed by a previous matching run into
+    // the sink (index order) before partitioning the remainder.
     run.resumable = !resolved.resumeDir.empty();
     if (run.resumable) {
-        run.manifestPath =
-            exp::manifestPath(resolved.resumeDir, result.scenario);
-        exp::ResumeManifest prior;
-        if (exp::loadManifest(run.manifestPath, prior)) {
-            if (prior.matches(run.manifest)) {
-                run.manifestMatched = true;
-                for (auto &kv : prior.points) {
-                    for (std::size_t t = 0; t < run.trialsPerPoint; ++t)
-                        result.trials[kv.first * run.trialsPerPoint + t] =
-                            kv.second[t];
-                    run.completed[kv.first] = 1;
-                    run.manifest.points[kv.first] = std::move(kv.second);
-                }
-                run.completedPoints = run.manifest.points.size();
-                result.resumedPoints = run.completedPoints;
+        run.storePath =
+            exp::resultStorePath(resolved.resumeDir, run.meta.scenario);
+        try {
+            exp::ColumnStoreReader prior(run.storePath);
+            if (prior.matches(run.meta)) {
+                run.storeMatched = true;
+                prior.forEachPoint(
+                    [&](std::size_t idx,
+                        const std::vector<exp::TrialRecord> &records) {
+                        sink.acceptPoint(idx, records.data(),
+                                         records.size());
+                        run.recHash[idx] = pointHash(records);
+                        run.completed[idx] = 1;
+                        ++run.completedPoints;
+                    });
+                stats.resumedPoints = run.completedPoints;
             } else {
                 std::fprintf(stderr,
                              "warning: %s does not match this sweep "
                              "(grid/seed/trials changed) — restarting "
                              "from scratch\n",
-                             run.manifestPath.c_str());
+                             run.storePath.c_str());
             }
+        } catch (const state::ArchiveError &) {
+            // Missing or unusable store: start fresh.
+        }
+        // Durable checkpoint: adopts the matching store (no re-append
+        // of the replayed points), recreates a stale one. O(1) fsync'd
+        // append per adopted point from here on.
+        try {
+            exp::ColumnStoreWriter::Options copts;
+            copts.durable = true;
+            run.checkpoint.reset(
+                new exp::ColumnStoreWriter(run.storePath, copts));
+            run.checkpoint->beginSweep(run.meta);
+            run.checkpointOk = true;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "warning: sweep checkpointing disabled: %s\n",
+                         e.what());
+            run.checkpoint.reset();
         }
     }
 
     // Placement keys: the warmup key groups points sharing a warm
     // state; without a warmup each point is its own key (pure spread).
-    run.pointKey.resize(result.points.size());
-    for (std::size_t i = 0; i < result.points.size(); ++i)
+    run.pointKey.resize(n_points);
+    for (std::size_t i = 0; i < n_points; ++i)
         run.pointKey[i] = spec.warmupKey
-                              ? spec.warmupKey(result.points[i])
-                              : result.points[i].toString();
+                              ? spec.warmupKey(run.meta.points[i])
+                              : run.meta.points[i].toString();
 
     std::vector<std::size_t> pending;
-    for (std::size_t i = 0; i < result.points.size(); ++i)
+    for (std::size_t i = 0; i < n_points; ++i)
         if (!run.completed[i])
             pending.push_back(i);
 
     if (!pending.empty()) {
         // Warm-snapshot cache reuse across restarts: trusted only when
-        // the manifest vouched for the result directory (same rule as
+        // the store vouched for the result directory (same rule as
         // SweepRunner's WarmTable).
-        if (spec.warmup && run.resumable && run.manifestMatched) {
+        if (spec.warmup && run.resumable && run.storeMatched) {
             std::set<std::string> wanted;
             for (std::size_t i : pending)
                 wanted.insert(run.pointKey[i]);
@@ -818,7 +863,7 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
                 try {
                     state::Buffer cached = state::readFile(
                         exp::warmSnapshotPath(resolved.resumeDir,
-                                              result.scenario, key));
+                                              run.meta.scenario, key));
                     state::ArchiveReader validate(cached);
                     (void)validate;
                     run.snapCache.emplace(key, std::move(cached));
@@ -834,7 +879,8 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
                                        ? std::string("shard-scratch")
                                        : resolved.scratchDir;
         run.runDir = (fs::path(scratch_root) /
-                      (result.scenario + "-" + std::to_string(::getpid())))
+                      (run.meta.scenario + "-" +
+                       std::to_string(::getpid())))
                          .string();
         std::error_code ec;
         fs::create_directories(run.runDir, ec);
@@ -855,11 +901,11 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
                 unit);
 
         HelloMsg hello;
-        hello.scenario = result.scenario;
-        hello.baseSeed = result.baseSeed;
-        hello.trialsPerPoint = result.trialsPerPoint;
-        hello.numPoints = result.points.size();
-        hello.gridFp = run.manifest.gridFp;
+        hello.scenario = run.meta.scenario;
+        hello.baseSeed = run.meta.baseSeed;
+        hello.trialsPerPoint = run.meta.trialsPerPoint;
+        hello.numPoints = n_points;
+        hello.gridFp = run.meta.gridFp;
         run.helloPayload = encodeHello(hello);
 
         // Writing into a dead worker's pipe must surface as EPIPE, not
@@ -886,14 +932,15 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
         std::signal(SIGPIPE, old_sigpipe);
 
         // Persist warm snapshots for bit-exact restarts, then drop the
-        // scratch tree (per-worker caches and partial manifests are
+        // scratch tree (per-worker caches and partial stores are
         // transient by contract).
         if (run.resumable && spec.warmup) {
             for (const auto &kv : run.snapCache) {
                 try {
                     state::atomicWriteFile(
                         exp::warmSnapshotPath(resolved.resumeDir,
-                                              result.scenario, kv.first),
+                                              run.meta.scenario,
+                                              kv.first),
                         kv.second);
                 } catch (const state::ArchiveError &e) {
                     std::fprintf(stderr,
@@ -907,8 +954,32 @@ ShardCoordinator::run(const exp::ScenarioSpec &spec) const
         fs::remove(fs::path(scratch_root), ec); // only when empty
     }
 
-    result.wallSeconds =
+    stats.wallSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
+
+    sink.endSweep();
+    if (run.checkpointOk) {
+        try {
+            run.checkpoint->endSweep();
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "warning: result store footer not written: "
+                         "%s\n",
+                         e.what());
+        }
+    }
+    return stats;
+}
+
+exp::SweepResult
+ShardCoordinator::run(const exp::ScenarioSpec &spec) const
+{
+    exp::MaterializeSink materialize;
+    exp::StreamStats stats = runStreaming(spec, materialize);
+    exp::SweepResult result = materialize.take();
+    result.jobs = stats.jobs;
+    result.wallSeconds = stats.wallSeconds;
+    result.resumedPoints = stats.resumedPoints;
     result.aggregates = aggregate(result.points, result.trials);
     return result;
 }
@@ -918,6 +989,14 @@ runSharded(const exp::ScenarioSpec &spec, ShardOptions opts)
 {
     ShardCoordinator coordinator(std::move(opts));
     return coordinator.run(spec);
+}
+
+exp::StreamStats
+runShardedStreaming(const exp::ScenarioSpec &spec, ShardOptions opts,
+                    exp::ResultSink &sink)
+{
+    ShardCoordinator coordinator(std::move(opts));
+    return coordinator.runStreaming(spec, sink);
 }
 
 } // namespace shard

@@ -17,18 +17,18 @@
  * snapshots to the thief so stolen units skip the warmup too.
  *
  * Fault tolerance: a worker death (EOF on its pipe) triggers (1) a
- * scavenge of the worker's fsync'd scratch manifest, recovering points
- * it completed but never reported, (2) reassignment of its remaining
- * units to live workers, and (3) a bounded-backoff respawn of the slot.
- * A slot that keeps dying is disabled (its ring slots redistribute);
- * a unit that keeps failing aborts the sweep with a loud report. Trial
- * exceptions are deterministic, so they abort immediately rather than
- * retry. Results merge under the manifest rules: duplicate identical
- * points dedupe silently, conflicting bits abort (corruption signal).
+ * scavenge of the worker's fsync'd scratch column store, recovering
+ * points it completed but never reported, (2) reassignment of its
+ * remaining units to live workers, and (3) a bounded-backoff respawn of
+ * the slot. A slot that keeps dying is disabled (its ring slots
+ * redistribute); a unit that keeps failing aborts the sweep with a loud
+ * report. Trial exceptions are deterministic, so they abort immediately
+ * rather than retry. Duplicate identical points dedupe silently (by
+ * content hash), conflicting bits abort (corruption signal).
  *
- * The outcome is a SweepResult byte-identical to SweepRunner's: same
- * trial records (metric doubles travel as raw IEEE-754 bits), same
- * serial aggregation, same reports.
+ * The outcome streams through the same ResultSink contract as
+ * SweepRunner and is byte-identical to it: same trial records (metric
+ * doubles travel as raw IEEE-754 bits), same aggregation, same reports.
  */
 
 #ifndef ICH_SHARD_COORDINATOR_HH
@@ -42,6 +42,7 @@
 
 #include "exp/aggregate.hh"
 #include "exp/scenario.hh"
+#include "exp/sink.hh"
 
 namespace ich
 {
@@ -56,14 +57,15 @@ struct ShardOptions {
     std::optional<int> trials;
     /**
      * Resumable-sweep directory (empty: off). Exactly the SweepRunner
-     * contract: the master manifest prefills completed points, is
-     * flushed after every completed point, and warm snapshots are
-     * cached as `<scenario>.warm-*.snap` for bit-exact restarts.
+     * contract: `<scenario>.colstore` prefills completed points, every
+     * adopted point is appended to it durably (O(1) fsync'd chunks),
+     * and warm snapshots are cached as `<scenario>.warm-*.snap` for
+     * bit-exact restarts.
      */
     std::string resumeDir;
     /**
-     * Scratch root for per-worker snapshot caches and partial
-     * manifests. Default: "shard-scratch" in the working directory;
+     * Scratch root for per-worker snapshot caches and partial column
+     * stores. Default: "shard-scratch" in the working directory;
      * the per-run subdirectory is removed on clean exit and kept (with
      * a pointer on stderr) when the sweep fails.
      */
@@ -107,10 +109,20 @@ class ShardCoordinator
     explicit ShardCoordinator(ShardOptions opts = {});
 
     /**
-     * Run @p spec across the worker pool. Throws std::runtime_error on
+     * Run @p spec across the worker pool, streaming each adopted point
+     * into @p sink (completion order; exp/sink.hh contract). Memory
+     * stays O(points) hashes + O(open units) records — the coordinator
+     * never retains trial records. Throws std::runtime_error on
      * unrecoverable failure (trial exception, exhausted retries,
      * conflicting duplicate results), with the failure report in the
-     * message.
+     * message; endSweep() is never called on failure.
+     */
+    exp::StreamStats runStreaming(const exp::ScenarioSpec &spec,
+                                  exp::ResultSink &sink) const;
+
+    /**
+     * Materializing wrapper over runStreaming(): the full SweepResult
+     * with serial aggregates, byte-identical to SweepRunner::run().
      */
     exp::SweepResult run(const exp::ScenarioSpec &spec) const;
 
@@ -123,6 +135,11 @@ class ShardCoordinator
 /** One-call convenience used by the harness driver. */
 exp::SweepResult runSharded(const exp::ScenarioSpec &spec,
                             ShardOptions opts);
+
+/** Streaming sibling of runSharded(). */
+exp::StreamStats runShardedStreaming(const exp::ScenarioSpec &spec,
+                                     ShardOptions opts,
+                                     exp::ResultSink &sink);
 
 /** Path of this executable (for ShardOptions::binaryPath). */
 std::string selfExecutablePath();

@@ -9,6 +9,7 @@
 
 #include <unistd.h>
 
+#include "exp/colstore.hh"
 #include "exp/resume.hh"
 #include "shard/protocol.hh"
 #include "state/archive.hh"
@@ -141,16 +142,23 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
         const int trials_per_point = hello.trialsPerPoint;
         if (trials_per_point < 1)
             return fatal("coordinator sent trials_per_point < 1");
-        std::vector<exp::ParamPoint> points = expandPoints(*spec);
-        std::uint64_t grid_fp = exp::gridFingerprint(points);
-        if (points.size() != hello.numPoints || grid_fp != hello.gridFp)
+        exp::SweepMeta meta;
+        meta.scenario = hello.scenario;
+        meta.baseSeed = base_seed;
+        meta.trialsPerPoint = trials_per_point;
+        meta.points = expandPoints(*spec);
+        meta.gridFp = exp::gridFingerprint(meta.points);
+        const std::vector<exp::ParamPoint> &points = meta.points;
+        if (points.size() != hello.numPoints ||
+            meta.gridFp != hello.gridFp)
             return fatal(
                 "grid mismatch: this binary expands '" + hello.scenario +
                 "' to " + std::to_string(points.size()) + " points (fp " +
-                std::to_string(grid_fp) + "), coordinator has " +
+                std::to_string(meta.gridFp) + "), coordinator has " +
                 std::to_string(hello.numPoints) + " (fp " +
                 std::to_string(hello.gridFp) +
                 ") — rebuild or matching flags needed");
+        const std::uint64_t grid_fp = meta.gridFp;
 
         HelloAckMsg ack;
         ack.pid = static_cast<std::int32_t>(::getpid());
@@ -159,16 +167,30 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
 
         WarmCache warm(*spec, cfg.scratchDir, cfg.outFd);
 
-        // Per-worker partial manifest: same header as the master so the
-        // coordinator can merge it back after a crash.
-        exp::ResumeManifest manifest;
-        manifest.scenario = hello.scenario;
-        manifest.baseSeed = base_seed;
-        manifest.trialsPerPoint = trials_per_point;
-        manifest.numPoints = hello.numPoints;
-        manifest.gridFp = grid_fp;
-        const std::string manifest_path =
-            exp::manifestPath(cfg.scratchDir, hello.scenario);
+        // Per-worker partial column store: same header as the master
+        // so the coordinator can scavenge it back after a crash. A
+        // respawned worker adopts its predecessor's file and keeps
+        // appending. Durable mode: each point is one fsync'd chunk.
+        // Never endSweep()'d — a scratch store is partial by contract.
+        // Scratch is an optimization, never worth the unit: any write
+        // failure warns once and disables crash recovery for this
+        // worker.
+        exp::ColumnStoreWriter::Options scratch_opts;
+        scratch_opts.durable = true;
+        exp::ColumnStoreWriter scratch(
+            exp::resultStorePath(cfg.scratchDir, hello.scenario),
+            scratch_opts);
+        bool scratch_ok = true;
+        try {
+            scratch.beginSweep(meta);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "shard worker: scratch store open failed "
+                         "(crash recovery for this worker disabled): "
+                         "%s\n",
+                         e.what());
+            scratch_ok = false;
+        }
 
         int units_started = 0;
         for (;;) {
@@ -227,19 +249,24 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
                     result.trials.push_back(std::move(rec));
                 }
 
-                // Durability order matters: scratch manifest first
-                // (atomic + fsync'd), result frame second. A kill in
+                // Durability order matters: scratch store first
+                // (fsync'd append), result frame second. A kill in
                 // between loses no completed work — the coordinator
-                // scavenges the manifest.
-                manifest.points[point_idx] = result.trials;
-                try {
-                    exp::writeManifest(manifest_path, manifest);
-                } catch (const std::exception &e) {
-                    std::fprintf(stderr,
-                                 "shard worker: scratch manifest write "
-                                 "failed (crash recovery for this "
-                                 "worker disabled): %s\n",
-                                 e.what());
+                // scavenges the store.
+                if (scratch_ok) {
+                    try {
+                        scratch.acceptPoint(point_idx,
+                                            result.trials.data(),
+                                            result.trials.size());
+                    } catch (const std::exception &e) {
+                        std::fprintf(
+                            stderr,
+                            "shard worker: scratch store write failed "
+                            "(crash recovery for this worker "
+                            "disabled): %s\n",
+                            e.what());
+                        scratch_ok = false;
+                    }
                 }
                 writeFrame(cfg.outFd, MsgType::kResult,
                            encodeResult(result));

@@ -1,0 +1,247 @@
+#include "state/chunkio.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace ich
+{
+namespace state
+{
+
+namespace
+{
+
+constexpr std::size_t kFrameHeaderSize = 4 + 4 + 4; // magic | kind | len
+constexpr std::size_t kFrameTrailerSize = 4;        // crc32(body)
+
+void
+put32(Buffer &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t
+get32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void
+fsyncParentDir(const std::string &path)
+{
+    // Same discipline as atomicWriteFile: the new directory entry must
+    // survive a crash; failure is non-fatal (contents are durable).
+    std::size_t slash = path.find_last_of('/');
+    std::string dir = slash == std::string::npos
+                          ? std::string(".")
+                          : path.substr(0, slash + 1);
+    int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (dfd >= 0) {
+        ::fsync(dfd);
+        ::close(dfd);
+    }
+}
+
+} // namespace
+
+void
+appendChunkFrame(Buffer &out, std::uint32_t kind, const Buffer &body)
+{
+    put32(out, kChunkFrameMagic);
+    put32(out, kind);
+    put32(out, static_cast<std::uint32_t>(body.size()));
+    out.insert(out.end(), body.begin(), body.end());
+    put32(out, crc32(body.data(), body.size()));
+}
+
+// ------------------------------------------------------------- writer
+
+ChunkFileWriter::~ChunkFileWriter()
+{
+    close();
+}
+
+void
+ChunkFileWriter::create(const std::string &path, bool durable)
+{
+    close();
+    std::filesystem::path p(path);
+    if (p.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(p.parent_path(), ec);
+        if (ec)
+            throw ArchiveError("chunkio: cannot create '" +
+                               p.parent_path().string() +
+                               "': " + ec.message());
+    }
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644);
+    if (fd_ < 0)
+        throw ArchiveError("chunkio: cannot create '" + path +
+                           "': " + std::strerror(errno));
+    path_ = path;
+    durable_ = durable;
+    if (durable_)
+        fsyncParentDir(path_);
+}
+
+void
+ChunkFileWriter::openAppend(const std::string &path,
+                            std::uint64_t valid_bytes, bool durable)
+{
+    close();
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    if (fd_ < 0)
+        throw ArchiveError("chunkio: cannot open '" + path +
+                           "' for append: " + std::strerror(errno));
+    // Drop a torn tail so appends resume on a frame boundary.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ArchiveError("chunkio: cannot truncate '" + path +
+                           "': " + std::strerror(err));
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ArchiveError("chunkio: cannot seek '" + path +
+                           "': " + std::strerror(err));
+    }
+    path_ = path;
+    durable_ = durable;
+}
+
+void
+ChunkFileWriter::writeAll(const Buffer &bytes)
+{
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+        ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ArchiveError("chunkio: write failed on '" + path_ +
+                               "': " + std::strerror(errno));
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+void
+ChunkFileWriter::append(std::uint32_t kind, const Buffer &body)
+{
+    if (fd_ < 0)
+        throw ArchiveError("chunkio: append on a closed writer");
+    Buffer frame;
+    frame.reserve(kFrameHeaderSize + body.size() + kFrameTrailerSize);
+    appendChunkFrame(frame, kind, body);
+    writeAll(frame);
+    if (durable_ && ::fsync(fd_) != 0)
+        throw ArchiveError("chunkio: fsync failed on '" + path_ +
+                           "': " + std::strerror(errno));
+}
+
+void
+ChunkFileWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+// ------------------------------------------------------------ scanner
+
+ChunkFileScanner::ChunkFileScanner(const std::string &path) : path_(path)
+{
+    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd_ < 0)
+        throw ArchiveError("chunkio: cannot open '" + path +
+                           "': " + std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw ArchiveError("chunkio: cannot stat '" + path +
+                           "': " + std::strerror(err));
+    }
+    size_ = static_cast<std::uint64_t>(st.st_size);
+}
+
+ChunkFileScanner::~ChunkFileScanner()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+ChunkFileScanner::seekTo(std::uint64_t offset)
+{
+    off_ = offset;
+    torn_ = false;
+}
+
+bool
+ChunkFileScanner::next(ChunkFrame &frame)
+{
+    if (off_ >= size_)
+        return false;
+    std::uint64_t avail = size_ - off_;
+    if (avail < kFrameHeaderSize + kFrameTrailerSize) {
+        torn_ = true;
+        return false;
+    }
+    std::uint8_t hdr[kFrameHeaderSize];
+    ssize_t n = ::pread(fd_, hdr, sizeof hdr, static_cast<off_t>(off_));
+    if (n != static_cast<ssize_t>(sizeof hdr))
+        throw ArchiveError("chunkio: read error on '" + path_ + "'");
+    if (get32(hdr) != kChunkFrameMagic)
+        throw ArchiveError("chunkio: bad frame magic in '" + path_ +
+                           "' at offset " + std::to_string(off_));
+    std::uint32_t kind = get32(hdr + 4);
+    std::uint32_t body_len = get32(hdr + 8);
+    if (avail - kFrameHeaderSize < body_len + kFrameTrailerSize) {
+        // The frame header landed but the body/CRC didn't: a torn
+        // append, not corruption.
+        torn_ = true;
+        return false;
+    }
+    Buffer body(body_len);
+    if (body_len > 0) {
+        n = ::pread(fd_, body.data(), body_len,
+                    static_cast<off_t>(off_ + kFrameHeaderSize));
+        if (n != static_cast<ssize_t>(body_len))
+            throw ArchiveError("chunkio: read error on '" + path_ + "'");
+    }
+    std::uint8_t crc_bytes[kFrameTrailerSize];
+    n = ::pread(fd_, crc_bytes, sizeof crc_bytes,
+                static_cast<off_t>(off_ + kFrameHeaderSize + body_len));
+    if (n != static_cast<ssize_t>(sizeof crc_bytes))
+        throw ArchiveError("chunkio: read error on '" + path_ + "'");
+    if (get32(crc_bytes) != crc32(body.data(), body.size()))
+        throw ArchiveError("chunkio: CRC mismatch in '" + path_ +
+                           "' at offset " + std::to_string(off_) +
+                           " (corrupt chunk)");
+    lastOff_ = off_;
+    off_ += kFrameHeaderSize + body_len + kFrameTrailerSize;
+    valid_ = std::max(valid_, off_);
+    frame.kind = kind;
+    frame.body = std::move(body);
+    return true;
+}
+
+} // namespace state
+} // namespace ich

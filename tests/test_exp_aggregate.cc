@@ -105,16 +105,17 @@ TEST(Aggregate, RollupAndMetricNames)
     EXPECT_EQ(rollup(r, "absent").count, 0u);
 }
 
-TEST(Aggregate, SweepResultMetricShortcut)
+TEST(Aggregate, SweepResultPointMetricAccessor)
 {
     SweepResult r;
     r.points = {ParamPoint{}};
     r.trials = {record(0, 0, {{"m", 2.0}})};
     r.aggregates = aggregate(r.points, r.trials);
-    EXPECT_DOUBLE_EQ(r.metric("m").mean, 2.0);
-    EXPECT_THROW(r.metric("absent"), std::out_of_range);
+    EXPECT_DOUBLE_EQ(r.pointMetric(0, "m").mean, 2.0);
+    EXPECT_THROW(r.pointMetric(0, "absent"), std::out_of_range);
+    EXPECT_THROW(r.pointMetric(1, "m"), std::out_of_range);
     SweepResult empty;
-    EXPECT_THROW(empty.metric("m"), std::out_of_range);
+    EXPECT_THROW(empty.pointMetric(0, "m"), std::out_of_range);
 }
 
 } // namespace

@@ -248,6 +248,109 @@ TEST(Report, WriteReportsRoundTrip)
     fs::remove_all(fs::path(::testing::TempDir()) / "ich_exp_report");
 }
 
+TEST(Report, WriteReportsHonorsFormatSelection)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) / "ich_report_opts";
+    fs::remove_all(dir);
+    SweepResult result = goldenResult();
+
+    ReportOptions opts;
+    opts.json = false;
+    ReportPaths paths = writeReports(result, dir.string(), opts);
+    EXPECT_TRUE(paths.json.empty());
+    EXPECT_FALSE(paths.csv.empty());
+    EXPECT_FALSE(fs::exists(dir / "golden.json"));
+    EXPECT_TRUE(fs::exists(dir / "golden.csv"));
+
+    opts.json = true;
+    opts.csv = false;
+    opts.includeTrials = false;
+    paths = writeReports(result, dir.string(), opts);
+    EXPECT_FALSE(paths.json.empty());
+    EXPECT_TRUE(paths.csv.empty());
+    std::ifstream jf(paths.json, std::ios::binary);
+    std::stringstream jbuf;
+    jbuf << jf.rdbuf();
+    EXPECT_EQ(jbuf.str(), jsonReport(result, /*include_trials=*/false));
+    fs::remove_all(dir);
+}
+
+/** Captures the SweepMeta a streaming run publishes. */
+class MetaCapture final : public ResultSink
+{
+  public:
+    void beginSweep(const SweepMeta &meta) override { meta_ = meta; }
+    void acceptPoint(std::size_t, const TrialRecord *,
+                     std::size_t) override
+    {
+    }
+    void endSweep() override {}
+    SweepMeta meta_;
+};
+
+// The acceptance criterion of the streaming redesign: every report
+// format rendered from the store-backed view must be byte-identical to
+// the same report rendered from the materialized SweepResult.
+TEST(Report, StoreBackedViewIsByteIdenticalToMaterialized)
+{
+    namespace fs = std::filesystem;
+    fs::path dir = fs::path(::testing::TempDir()) / "ich_store_view";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::string store_path = (dir / "golden.colstore").string();
+
+    ScenarioSpec spec;
+    spec.name = "golden";
+    spec.description = "reporter fixture";
+    spec.axes = {axisLabeledValues("k", {{"lo", 1.0}, {"hi", 2.0}})};
+    spec.trials = 2;
+    spec.baseSeed = 5;
+    spec.run = [](const TrialContext &ctx) {
+        MetricMap m;
+        m["val"] = ctx.point.get("k") * 10.0;
+        m["ber"] = ctx.point.get("k") * 0.25;
+        return m;
+    };
+
+    MetaCapture meta;
+    MaterializeSink mat;
+    StreamingAggregator agg;
+    ColumnStoreWriter store(store_path);
+    TeeSink tee({&meta, &mat, &agg, &store});
+    RunnerOptions opts;
+    opts.jobs = 2; // completion order must not matter
+    SweepRunner(opts).runStreaming(spec, tee);
+
+    SweepResult result = mat.take();
+    result.aggregates = aggregate(result.points, result.trials);
+
+    ColumnStoreReader reader(store_path);
+    StoreSweepView view{meta.meta_, agg, reader};
+
+    EXPECT_EQ(textReport(view), textReport(result));
+    EXPECT_EQ(jsonReport(view), jsonReport(result));
+    EXPECT_EQ(jsonReport(view, false), jsonReport(result, false));
+    EXPECT_EQ(csvReport(view), csvReport(result));
+
+    // writeReports over the view produces byte-identical files too.
+    ReportPaths from_view =
+        writeReports(view, (dir / "view").string());
+    ReportPaths from_result =
+        writeReports(result, (dir / "mat").string());
+    for (auto pair : {std::make_pair(from_view.json, from_result.json),
+                      std::make_pair(from_view.csv, from_result.csv)}) {
+        std::ifstream a(pair.first, std::ios::binary);
+        std::ifstream b(pair.second, std::ios::binary);
+        std::stringstream abuf, bbuf;
+        abuf << a.rdbuf();
+        bbuf << b.rdbuf();
+        EXPECT_EQ(abuf.str(), bbuf.str());
+        EXPECT_FALSE(abuf.str().empty());
+    }
+    fs::remove_all(dir);
+}
+
 } // namespace
 } // namespace exp
 } // namespace ich

@@ -3,8 +3,9 @@
  * Tests for warm-state forking and resumable sweeps in the SweepRunner:
  * a sweep forked from warm snapshots must be byte-identical to the same
  * sweep run cold; --jobs must stay result-invariant with warmups; and a
- * sweep resumed from a manifest must reproduce an uninterrupted run
- * exactly, with every manifest write atomic.
+ * sweep resumed from its columnar result store must reproduce an
+ * uninterrupted run exactly, with a torn store recovering its intact
+ * whole-point prefix.
  */
 
 #include <gtest/gtest.h>
@@ -178,9 +179,9 @@ TEST(Resume, InterruptedSweepResumesByteIdentically)
     std::string uninterrupted = runToJson(spec, opts);
 
     // Simulate the interruption: keep only the first two completed
-    // points in the manifest, as if the run was killed mid-sweep.
+    // points in the store, as if the run was killed mid-sweep.
     std::string mpath =
-        exp::manifestPath(dir.path.string(), spec.name);
+        exp::resultStorePath(dir.path.string(), spec.name);
     exp::ResumeManifest m;
     ASSERT_TRUE(exp::loadManifest(mpath, m));
     while (m.points.size() > 2)
@@ -213,9 +214,10 @@ TEST(Resume, WarmSnapshotCacheIsReusedOnlyWithAMatchingManifest)
         return t;
     };
 
-    // Interrupted restart (manifest present and matching): the cached
+    // Interrupted restart (store present and matching): the cached
     // snapshots are trusted — reused in place, not rewritten.
-    std::string mpath = exp::manifestPath(dir.path.string(), spec.name);
+    std::string mpath =
+        exp::resultStorePath(dir.path.string(), spec.name);
     exp::ResumeManifest m;
     ASSERT_TRUE(exp::loadManifest(mpath, m));
     m.points.erase(m.points.begin());
@@ -224,7 +226,7 @@ TEST(Resume, WarmSnapshotCacheIsReusedOnlyWithAMatchingManifest)
     EXPECT_EQ(runToJson(spec, opts), first);
     EXPECT_EQ(mtimes(), before);
 
-    // Without a manifest vouching for the directory, the cache could
+    // Without a store vouching for the directory, the cache could
     // have been produced by a different warmup: it must be recomputed
     // (rewritten), and the results still match a fresh run.
     fs::remove(mpath);
@@ -261,7 +263,7 @@ TEST(Resume, ManifestWritesLeaveNoTempFiles)
             << "leftover staging file: " << entry.path();
 }
 
-TEST(Resume, TruncatedManifestIsTreatedAsAbsent)
+TEST(Resume, TruncatedStoreRecoversItsWholePointPrefix)
 {
     TempDir dir("resume_truncated");
     exp::ScenarioSpec spec = warmForkSpec(true);
@@ -271,24 +273,27 @@ TEST(Resume, TruncatedManifestIsTreatedAsAbsent)
     std::string full = runToJson(spec, opts);
 
     std::string mpath =
-        exp::manifestPath(dir.path.string(), spec.name);
-    std::ifstream in(mpath);
-    std::string text((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
+        exp::resultStorePath(dir.path.string(), spec.name);
+    std::ifstream in(mpath, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
     in.close();
-    std::ofstream out(mpath, std::ios::trunc);
-    out << text.substr(0, text.size() / 2);
+    std::ofstream out(mpath, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() / 2);
     out.close();
 
     exp::ResumeManifest m;
     bool loaded = exp::loadManifest(mpath, m);
-    // A torn manifest either fails to parse or parses a whole-point
-    // prefix; both are safe. The sweep must reproduce the full result.
+    // A truncated store is a torn tail: the intact whole-point prefix
+    // loads (or, cut inside the header, nothing does); both are safe.
+    // The sweep must reproduce the full result either way.
     if (loaded) {
         EXPECT_LT(m.points.size(), spec.axes[0].values.size() *
                                        spec.axes[1].values.size());
     }
-    EXPECT_EQ(runToJson(spec, opts), full);
+    exp::SweepResult resumed = exp::SweepRunner(opts).run(spec);
+    EXPECT_EQ(resumed.resumedPoints, loaded ? m.points.size() : 0u);
+    EXPECT_EQ(exp::jsonReport(resumed, true), full);
 }
 
 exp::ResumeManifest
@@ -378,7 +383,7 @@ TEST(Resume, ManifestRoundTripsBitExactMetrics)
     m.points[0] = {rec};
 
     std::string path =
-        (fs::path(::testing::TempDir()) / "bits.manifest").string();
+        (fs::path(::testing::TempDir()) / "bits.colstore").string();
     exp::writeManifest(path, m);
     exp::ResumeManifest back;
     ASSERT_TRUE(exp::loadManifest(path, back));

@@ -1,0 +1,277 @@
+/**
+ * @file
+ * Tests for the streaming ResultSink API: the sink call contract,
+ * completion-order independence, and — the load-bearing property of the
+ * whole redesign — bit-identity between the streaming path
+ * (runStreaming + StreamingAggregator) and the materialized path
+ * (run + serial aggregate()).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hh"
+#include "exp/report.hh"
+#include "exp/runner.hh"
+#include "exp/sink.hh"
+
+namespace ich
+{
+namespace exp
+{
+namespace
+{
+
+std::uint64_t
+bitsOf(double d)
+{
+    std::uint64_t b;
+    std::memcpy(&b, &d, sizeof b);
+    return b;
+}
+
+void
+expectSummaryBitEqual(const MetricSummary &a, const MetricSummary &b)
+{
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(bitsOf(a.mean), bitsOf(b.mean));
+    EXPECT_EQ(bitsOf(a.stddev), bitsOf(b.stddev));
+    EXPECT_EQ(bitsOf(a.min), bitsOf(b.min));
+    EXPECT_EQ(bitsOf(a.max), bitsOf(b.max));
+    EXPECT_EQ(bitsOf(a.p50), bitsOf(b.p50));
+    EXPECT_EQ(bitsOf(a.p90), bitsOf(b.p90));
+    EXPECT_EQ(bitsOf(a.p99), bitsOf(b.p99));
+}
+
+void
+expectAggregatesBitEqual(const std::vector<PointAggregate> &a,
+                         const std::vector<PointAggregate> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size());
+        auto ia = a[i].metrics.begin();
+        auto ib = b[i].metrics.begin();
+        for (; ia != a[i].metrics.end(); ++ia, ++ib) {
+            EXPECT_EQ(ia->first, ib->first);
+            expectSummaryBitEqual(ia->second, ib->second);
+        }
+    }
+}
+
+/** Stochastic grid whose metrics depend only on (point, seed). */
+ScenarioSpec
+rngSpec()
+{
+    ScenarioSpec spec;
+    spec.name = "sink-grid";
+    spec.description = "pure-Rng grid for sink tests";
+    spec.axes = {axis("mu", {0.0, 5.0, 9.0}), axis("sigma", {1.0, 3.0})};
+    spec.trials = 3;
+    spec.baseSeed = 321;
+    spec.run = [](const TrialContext &ctx) {
+        Rng rng(ctx.seed);
+        double acc = 0.0;
+        for (int i = 0; i < 64; ++i)
+            acc += rng.normal(ctx.point.get("mu"),
+                              ctx.point.get("sigma"));
+        MetricMap m;
+        m["sum"] = acc;
+        return m;
+    };
+    return spec;
+}
+
+/** Records the sink call sequence for contract checks. */
+class ContractSink final : public ResultSink
+{
+  public:
+    void beginSweep(const SweepMeta &meta) override
+    {
+        ++begins;
+        meta_ = meta;
+    }
+    void acceptPoint(std::size_t point_idx, const TrialRecord *records,
+                     std::size_t count) override
+    {
+        EXPECT_EQ(begins, 1);
+        EXPECT_EQ(ends, 0);
+        EXPECT_LT(point_idx, meta_.numPoints());
+        EXPECT_EQ(count,
+                  static_cast<std::size_t>(meta_.trialsPerPoint));
+        for (std::size_t t = 0; t < count; ++t) {
+            EXPECT_EQ(records[t].pointIndex, point_idx);
+            EXPECT_EQ(records[t].trial, static_cast<int>(t));
+        }
+        seen.push_back(point_idx);
+    }
+    void endSweep() override { ++ends; }
+
+    int begins = 0;
+    int ends = 0;
+    std::vector<std::size_t> seen;
+    SweepMeta meta_;
+};
+
+TEST(Sink, RunStreamingHonorsTheContract)
+{
+    ContractSink sink;
+    RunnerOptions opts;
+    opts.jobs = 3;
+    StreamStats stats = SweepRunner(opts).runStreaming(rngSpec(), sink);
+    EXPECT_EQ(sink.begins, 1);
+    EXPECT_EQ(sink.ends, 1);
+    EXPECT_EQ(sink.seen.size(), 6u);
+    EXPECT_EQ(stats.points, 6u);
+    EXPECT_EQ(stats.resumedPoints, 0u);
+    EXPECT_EQ(stats.jobs, 3);
+    EXPECT_EQ(sink.meta_.scenario, "sink-grid");
+    EXPECT_EQ(sink.meta_.trialsPerPoint, 3);
+    EXPECT_EQ(sink.meta_.baseSeed, 321u);
+}
+
+TEST(Sink, FailedSweepNeverEndsTheSink)
+{
+    ScenarioSpec spec;
+    spec.name = "boom";
+    spec.axes = {axis("x", {1.0, 2.0})};
+    spec.run = [](const TrialContext &ctx) -> MetricMap {
+        if (ctx.point.get("x") == 2.0)
+            throw std::runtime_error("kaboom");
+        return {{"m", 1.0}};
+    };
+    ContractSink sink;
+    RunnerOptions opts;
+    opts.jobs = 1;
+    EXPECT_THROW(SweepRunner(opts).runStreaming(spec, sink),
+                 std::runtime_error);
+    EXPECT_EQ(sink.begins, 1);
+    EXPECT_EQ(sink.ends, 0);
+}
+
+TEST(Sink, MaterializeSinkRebuildsTheLegacyResult)
+{
+    ScenarioSpec spec = rngSpec();
+    RunnerOptions opts;
+    opts.jobs = 1;
+    SweepResult direct = SweepRunner(opts).run(spec);
+
+    MaterializeSink sink;
+    SweepRunner(opts).runStreaming(spec, sink);
+    SweepResult streamed = sink.take();
+    streamed.aggregates = aggregate(streamed.points, streamed.trials);
+
+    EXPECT_EQ(jsonReport(direct), jsonReport(streamed));
+    EXPECT_EQ(csvReport(direct), csvReport(streamed));
+    EXPECT_EQ(textReport(direct), textReport(streamed));
+}
+
+TEST(Sink, MaterializeSinkIsCompletionOrderIndependent)
+{
+    SweepMeta meta;
+    meta.scenario = "ooo";
+    meta.baseSeed = 1;
+    meta.trialsPerPoint = 1;
+    meta.points.resize(3);
+
+    auto rec = [](std::size_t idx) {
+        TrialRecord r;
+        r.pointIndex = idx;
+        r.trial = 0;
+        r.seed = 100 + idx;
+        r.metrics["m"] = 1.0 * idx;
+        return r;
+    };
+
+    MaterializeSink in_order;
+    in_order.beginSweep(meta);
+    for (std::size_t idx : {0u, 1u, 2u}) {
+        TrialRecord r = rec(idx);
+        in_order.acceptPoint(idx, &r, 1);
+    }
+    in_order.endSweep();
+
+    MaterializeSink reversed;
+    reversed.beginSweep(meta);
+    for (std::size_t idx : {2u, 1u, 0u}) {
+        TrialRecord r = rec(idx);
+        reversed.acceptPoint(idx, &r, 1);
+    }
+    reversed.endSweep();
+
+    SweepResult a = in_order.take();
+    SweepResult b = reversed.take();
+    ASSERT_EQ(a.trials.size(), b.trials.size());
+    for (std::size_t i = 0; i < a.trials.size(); ++i) {
+        EXPECT_EQ(a.trials[i].pointIndex, i);
+        EXPECT_EQ(b.trials[i].pointIndex, i);
+        EXPECT_EQ(bitsOf(a.trials[i].metrics.at("m")),
+                  bitsOf(b.trials[i].metrics.at("m")));
+    }
+}
+
+TEST(Sink, StreamingAggregatorIsBitIdenticalToSerialAggregate)
+{
+    ScenarioSpec spec = rngSpec();
+    RunnerOptions opts;
+    opts.jobs = 4; // points complete out of order under a pool
+    MaterializeSink mat;
+    StreamingAggregator agg;
+    TeeSink tee({&mat, &agg});
+    SweepRunner(opts).runStreaming(spec, tee);
+
+    SweepResult result = mat.take();
+    std::vector<PointAggregate> oracle =
+        aggregate(result.points, result.trials);
+    expectAggregatesBitEqual(agg.aggregates(), oracle);
+    EXPECT_EQ(agg.completedPoints(), 6u);
+    EXPECT_EQ(agg.metricNames(),
+              std::vector<std::string>{"sum"});
+}
+
+TEST(Sink, StreamingPathMatchesAcrossJobCounts)
+{
+    ScenarioSpec spec = rngSpec();
+    RunnerOptions serial;
+    serial.jobs = 1;
+    RunnerOptions parallel;
+    parallel.jobs = 4;
+
+    StreamingAggregator a;
+    SweepRunner(serial).runStreaming(spec, a);
+    StreamingAggregator b;
+    SweepRunner(parallel).runStreaming(spec, b);
+    expectAggregatesBitEqual(a.aggregates(), b.aggregates());
+}
+
+TEST(Sink, TeeForwardsEveryCallInOrder)
+{
+    ContractSink first;
+    ContractSink second;
+    TeeSink tee({&first, &second});
+
+    SweepMeta meta;
+    meta.scenario = "tee";
+    meta.trialsPerPoint = 1;
+    meta.points.resize(2);
+    tee.beginSweep(meta);
+    TrialRecord r;
+    r.pointIndex = 1;
+    r.trial = 0;
+    tee.acceptPoint(1, &r, 1);
+    tee.endSweep();
+
+    for (const ContractSink *s : {&first, &second}) {
+        EXPECT_EQ(s->begins, 1);
+        EXPECT_EQ(s->ends, 1);
+        EXPECT_EQ(s->seen, std::vector<std::size_t>{1});
+    }
+}
+
+} // namespace
+} // namespace exp
+} // namespace ich

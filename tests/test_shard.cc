@@ -6,7 +6,7 @@
  * and move only a disabled worker's keys; and a sharded sweep must be
  * byte-identical to a serial in-process run — including when a worker
  * is killed -9 mid-sweep, and when the sweep resumes from a truncated
- * manifest.
+ * result store.
  *
  * This binary supplies its own main(): it doubles as the shard worker
  * (the coordinator fork/execs /proc/self/exe with --shard-worker), so
@@ -442,6 +442,24 @@ TEST(ShardSweep, ByteIdenticalToSerialRun)
     EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
 }
 
+// The streaming front end: sharded completion order feeding a
+// StreamingAggregator must still render byte-identical to a serial
+// materialized run.
+TEST(ShardSweep, StreamingShardedRunIsByteIdenticalToSerial)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_stream");
+    exp::MaterializeSink mat;
+    exp::StreamingAggregator agg;
+    exp::TeeSink tee({&mat, &agg});
+    exp::StreamStats stats =
+        shard::runShardedStreaming(spec, shardOpts(dir), tee);
+    exp::SweepResult streamed = mat.take();
+    streamed.aggregates = agg.aggregates();
+    EXPECT_EQ(stats.points, streamed.points.size());
+    EXPECT_EQ(exp::jsonReport(streamed, true), serialJson(spec));
+}
+
 TEST(ShardSweep, WarmSweepIsByteIdenticalAndCleansItsScratch)
 {
     const exp::ScenarioSpec &spec = *testRegistry().find("shard-warm");
@@ -487,7 +505,7 @@ TEST(ShardSweep, TrialExceptionAbortsTheSweep)
                  std::runtime_error);
 }
 
-TEST(ShardSweep, ResumesFromATruncatedManifestByteIdentically)
+TEST(ShardSweep, ResumesFromATruncatedStoreByteIdentically)
 {
     const exp::ScenarioSpec &spec = *testRegistry().find("shard-warm");
     TempDir dir("shard_resume");
@@ -499,7 +517,7 @@ TEST(ShardSweep, ResumesFromATruncatedManifestByteIdentically)
     EXPECT_EQ(exp::jsonReport(first, true), uninterrupted);
 
     // Keep only two completed points, as if the coordinator died.
-    std::string mpath = exp::manifestPath(opts.resumeDir, spec.name);
+    std::string mpath = exp::resultStorePath(opts.resumeDir, spec.name);
     exp::ResumeManifest m;
     ASSERT_TRUE(exp::loadManifest(mpath, m));
     while (m.points.size() > 2)
