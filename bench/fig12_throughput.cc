@@ -158,6 +158,10 @@ main(int argc, char **argv)
 
     // Information-theoretic cross-check ([72] Millen): the measured
     // symbol->TP mutual information supports the full 2 bits/transaction.
+    // Live simulation, not a report — skipped when re-rendering from a
+    // prior run's column store.
+    if (!cli.renderFrom.empty())
+        return 0;
     ChannelConfig cfg;
     cfg.chip = presets::cannonLake();
     cfg.seed = 99;

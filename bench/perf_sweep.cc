@@ -26,6 +26,13 @@
  *    expectation and the benchmark is primarily a correctness +
  *    overhead gauge there.
  *
+ *  - BENCH_detect: online-detection overhead. Each trial runs the same
+ *    PHI-burst workload unwatched and with a full detect::DetectorBank
+ *    riding the chip Ticker, and reports event-kernel events/s for
+ *    both plus detect_overhead_ratio = on/off. CI gates the ratio at
+ *    0.9: attaching the detectors must never cost the simulator more
+ *    than a tenth of its throughput.
+ *
  *  - BENCH_colstore: the columnar result store. Each trial streams a
  *    synthetic many-point sweep's records through a ColumnStoreWriter
  *    (spill throughput, on-disk size), re-opens the store and reads
@@ -79,6 +86,7 @@
 
 #include "bench_util.hh"
 #include "common/rng.hh"
+#include "detect/detector.hh"
 #include "exp/exp.hh"
 #include "shard/shard.hh"
 #include "state/state.hh"
@@ -97,6 +105,7 @@ struct GridOptions {
     std::vector<double> warmBurstsAxis; ///< distinct warm keys (shard)
     std::vector<double> shardProbeAxis; ///< points per warm key (shard)
     std::vector<double> chunkRecordsAxis; ///< colstore flush thresholds
+    std::vector<double> detectBurstsAxis; ///< PHI bursts (detect bench)
 };
 
 GridOptions
@@ -113,6 +122,7 @@ gridFor(const std::string &name)
         g.shardProbeAxis = {100.0, 200.0, 300.0, 400.0,
                             500.0, 600.0, 700.0, 800.0};
         g.chunkRecordsAxis = {4096.0, 65536.0};
+        g.detectBurstsAxis = {16.0, 48.0};
     } else if (name == "large") {
         g.jobsAxis = {1.0, 2.0, 4.0, 8.0};
         g.noiseAxis = {0.0, 500.0, 1000.0, 5000.0, 10000.0};
@@ -125,6 +135,7 @@ gridFor(const std::string &name)
                             500.0, 600.0, 700.0,  800.0,
                             900.0, 1000.0, 1100.0, 1200.0};
         g.chunkRecordsAxis = {1024.0, 4096.0, 16384.0, 65536.0};
+        g.detectBurstsAxis = {16.0, 48.0, 96.0};
     } else {
         throw std::invalid_argument("--grid: expected 'small' or "
                                     "'large', got '" + name + "'");
@@ -296,6 +307,44 @@ shardInnerSpec(const GridOptions &grid, int trials, int base_bursts,
         return "wb-" + std::to_string(point.getInt("warm_bursts"));
     };
     return inner;
+}
+
+// ---------------------------------------------------- BENCH_detect
+
+/**
+ * One measured run of the detection-overhead workload: PHI burst
+ * cycles on every core, optionally watched by a full DetectorBank.
+ * Returns event-kernel throughput (executed events per wall second) —
+ * the detector ticks *add* events, so comparable on/off throughput
+ * means the bank costs what its ticks cost and nothing more.
+ */
+double
+detectArmEventsPerSec(bool with_bank, int bursts, std::uint64_t seed,
+                      std::uint64_t *det_samples)
+{
+    Simulation sim(presets::cannonLake(), seed);
+    std::unique_ptr<detect::DetectorBank> bank;
+    if (with_bank)
+        bank = std::make_unique<detect::DetectorBank>(
+            sim.chip(), detect::DetectConfig{});
+    for (int c = 0; c < sim.chip().coreCount(); ++c) {
+        Program p;
+        for (int b = 0; b < bursts; ++b) {
+            p.loop(InstClass::k256Heavy, 400, 100);
+            p.idle(fromMicroseconds(700)); // hysteresis decay
+            p.loop(InstClass::k512Heavy, 200, 100);
+            p.idle(fromMicroseconds(700));
+        }
+        HwThread &thr = sim.chip().core(c).thread(0);
+        thr.setProgram(std::move(p));
+        thr.start();
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run(fromSeconds(10.0));
+    double dt = bench::secondsSince(t0);
+    if (det_samples)
+        *det_samples = with_bank ? bank->detector(0).samples() : 0;
+    return static_cast<double>(sim.eq().executedEvents()) / dt;
 }
 
 // --------------------------------------------------- BENCH_colstore
@@ -485,6 +534,33 @@ buildScenarios(const GridOptions &grid, const std::string &grid_name)
             m["serial_points_per_sec"] = n_points / serial_dt;
             m["shard_speedup"] = serial_dt / shard_dt;
             m["inner_trials"] = static_cast<double>(rw.trials.size());
+            return m;
+        };
+        reg.add(std::move(spec));
+    }
+    {
+        exp::ScenarioSpec spec;
+        spec.name = "BENCH_detect";
+        spec.description = "online-detection overhead: event-kernel "
+                           "events/s with a full DetectorBank attached "
+                           "vs unwatched";
+        spec.axes = {exp::axis("bursts", grid.detectBurstsAxis)};
+        spec.trials = 2;
+        spec.baseSeed = 29;
+        spec.run = [](const exp::TrialContext &ctx) {
+            int bursts = ctx.point.getInt("bursts");
+            // Off first, on second, same seed: identical physics, the
+            // only delta is the bank's observation ticks.
+            double off =
+                detectArmEventsPerSec(false, bursts, ctx.seed, nullptr);
+            std::uint64_t det_samples = 0;
+            double on = detectArmEventsPerSec(true, bursts, ctx.seed,
+                                              &det_samples);
+            exp::MetricMap m;
+            m["off_events_per_sec"] = off;
+            m["on_events_per_sec"] = on;
+            m["detect_overhead_ratio"] = on / off;
+            m["det_samples"] = static_cast<double>(det_samples);
             return m;
         };
         reg.add(std::move(spec));
@@ -732,6 +808,17 @@ main(int argc, char **argv)
                     "best worker count (mean %.2fx; 1 on a 1-core "
                     "box is expected)\n",
                     speedup.max, speedup.mean);
+    }
+    if (exp::wantScenario(cli, "BENCH_detect")) {
+        exp::SweepResult res =
+            exp::runAndReport(*reg.find("BENCH_detect"), cli);
+        exp::MetricSummary ratio =
+            exp::rollup(res, "detect_overhead_ratio");
+        exp::MetricSummary on = exp::rollup(res, "on_events_per_sec");
+        std::printf("\nonline detection: %.2fx event throughput with "
+                    "the bank attached (min %.2fx; 1.0 = free), "
+                    "%.0f events/s watched\n",
+                    ratio.mean, ratio.min, on.mean);
     }
     if (exp::wantScenario(cli, "BENCH_colstore")) {
         exp::SweepResult res =

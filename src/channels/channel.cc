@@ -124,7 +124,12 @@ CovertChannel::runSymbols(const std::vector<int> &symbols, bool with_noise)
     if (symbols.empty())
         return {};
     Simulation sim(chipConfigForRun(), cfg_.seed + (++runCounter_));
-    return runOnSimulation(sim, symbols, with_noise);
+    if (simHooks_.onStart)
+        simHooks_.onStart(sim);
+    std::vector<double> tp = runOnSimulation(sim, symbols, with_noise);
+    if (simHooks_.onFinish)
+        simHooks_.onFinish(sim);
+    return tp;
 }
 
 const Calibration &

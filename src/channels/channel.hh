@@ -14,6 +14,7 @@
 #define ICH_CHANNELS_CHANNEL_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -124,6 +125,22 @@ class CovertChannel
     /** Lazily-computed noise-free calibration. */
     const Calibration &calibration();
 
+    /**
+     * Observer hooks around each internally-constructed Simulation:
+     * onStart fires right after construction (attach a
+     * detect::DetectorBank, extra Daq probes, ...), onFinish right
+     * after the run completes, while the Simulation is still alive
+     * (harvest detector metrics). Hooks must only *observe* — anything
+     * that perturbs channel physics invalidates the calibration.
+     * Install them after calibration() if the calibration run should
+     * stay unobserved.
+     */
+    struct SimHooks {
+        std::function<void(Simulation &)> onStart;
+        std::function<void(Simulation &)> onFinish;
+    };
+    void setSimHooks(SimHooks hooks) { simHooks_ = std::move(hooks); }
+
     /** Bits per second the transaction pacing supports. */
     double ratedThroughputBps() const;
 
@@ -168,6 +185,7 @@ class CovertChannel
 
   private:
     std::optional<Calibration> calibration_;
+    SimHooks simHooks_;
     std::uint64_t runCounter_ = 0;
 };
 

@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the online covert-channel detection subsystem:
+ * the Detector/DetectorBank core, the three concrete detectors, and
+ * the multi-tenant co-residency campaign helpers.
+ */
+
+#ifndef ICH_DETECT_DETECT_HH
+#define ICH_DETECT_DETECT_HH
+
+#include "detect/cusum.hh"
+#include "detect/detector.hh"
+#include "detect/duty.hh"
+#include "detect/sketch.hh"
+#include "detect/tenant.hh"
+
+#endif // ICH_DETECT_DETECT_HH

@@ -1,0 +1,73 @@
+#include "detect/duty.hh"
+
+#include <algorithm>
+
+#include "chip/chip.hh"
+#include "state/archive.hh"
+#include "state/snapshot.hh"
+
+namespace ich
+{
+namespace detect
+{
+
+DutyCycleDetector::DutyCycleDetector(Chip &chip, const DutyParams &p)
+    : Detector(chip), params_(p),
+      throttledTicks_(chip.coreCount(), 0),
+      lastAsserts_(chip.coreCount(), 0)
+{
+}
+
+void
+DutyCycleDetector::observe(Time now)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        const ThrottleUnit &tu = chip_.core(c).throttle();
+        std::uint64_t asserts = tu.assertCount();
+        if (tu.throttled() || asserts != lastAsserts_[c])
+            ++throttledTicks_[c];
+        lastAsserts_[c] = asserts;
+    }
+    if (++windowFill_ < params_.windowTicks)
+        return;
+    std::uint32_t worst =
+        *std::max_element(throttledTicks_.begin(), throttledTicks_.end());
+    lastResidency_ =
+        static_cast<double>(worst) / params_.windowTicks;
+    std::fill(throttledTicks_.begin(), throttledTicks_.end(), 0);
+    windowFill_ = 0;
+    notePeak(lastResidency_);
+    noteAlarmLevel(lastResidency_ >= params_.threshold, now);
+}
+
+void
+DutyCycleDetector::saveState(state::SaveContext &ctx) const
+{
+    Detector::saveState(ctx);
+    state::ArchiveWriter &w = ctx.w();
+    w.putU32(static_cast<std::uint32_t>(throttledTicks_.size()));
+    for (std::uint32_t t : throttledTicks_)
+        w.putU32(t);
+    for (std::uint64_t a : lastAsserts_)
+        w.putU64(a);
+    w.putI32(windowFill_);
+    w.putF64(lastResidency_);
+}
+
+void
+DutyCycleDetector::restoreState(state::SectionReader &r)
+{
+    Detector::restoreState(r);
+    if (r.getU32() != throttledTicks_.size())
+        throw state::ArchiveError(
+            "DutyCycleDetector: core count mismatch");
+    for (std::uint32_t &t : throttledTicks_)
+        t = r.getU32();
+    for (std::uint64_t &a : lastAsserts_)
+        a = r.getU64();
+    windowFill_ = r.getI32();
+    lastResidency_ = r.getF64();
+}
+
+} // namespace detect
+} // namespace ich

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Throttle duty-cycle residency detector.
+ *
+ * The crudest — and cheapest — observable the spy leaves behind: while
+ * a guardband up-transition is in flight the core's IDQ is blocked 3
+ * of 4 cycles, and a covert channel re-triggers that state every
+ * transaction. The detector counts, per core, the fraction of
+ * observation ticks with throttle activity — the level asserted at the
+ * sample instant *or* an assert edge since the previous sample, so
+ * pulses shorter than the sampling period still register — inside
+ * fixed windows of windowTicks samples; the statistic is the worst
+ * per-core residency of the latest completed window. Honest tenants
+ * throttle in isolated bursts (low residency); a channel at usable
+ * throughput sustains it on its two cores.
+ */
+
+#ifndef ICH_DETECT_DUTY_HH
+#define ICH_DETECT_DUTY_HH
+
+#include <vector>
+
+#include "detect/detector.hh"
+
+namespace ich
+{
+namespace detect
+{
+
+class DutyCycleDetector final : public Detector
+{
+  public:
+    DutyCycleDetector(Chip &chip, const DutyParams &p);
+
+    const char *name() const override { return "duty"; }
+
+    /** Worst per-core residency of the latest completed window. */
+    double statistic() const override { return lastResidency_; }
+
+    void saveState(state::SaveContext &ctx) const override;
+    void restoreState(state::SectionReader &r) override;
+
+  protected:
+    void observe(Time now) override;
+
+  private:
+    DutyParams params_;
+    std::vector<std::uint32_t> throttledTicks_; ///< per core, this window
+    std::vector<std::uint64_t> lastAsserts_;    ///< per core, last sample
+    int windowFill_ = 0;
+    double lastResidency_ = 0.0;
+};
+
+} // namespace detect
+} // namespace ich
+
+#endif // ICH_DETECT_DUTY_HH

@@ -1,0 +1,232 @@
+#include "detect/sketch.hh"
+
+#include <stdexcept>
+
+#include "chip/chip.hh"
+#include "state/archive.hh"
+#include "state/snapshot.hh"
+
+namespace ich
+{
+namespace detect
+{
+
+namespace
+{
+
+/** splitmix64 — the repo's standard cheap deterministic mixer. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+// ----------------------------------------------------- CountMinSketch
+
+CountMinSketch::CountMinSketch(int depth, int width,
+                               double row_sample_prob, std::uint64_t seed)
+    : depth_(depth), width_(width), sampleProb_(row_sample_prob),
+      seed_(seed), rngState_(mix64(seed ^ 0xA11CE5ULL))
+{
+    if (depth_ <= 0 || width_ <= 0)
+        throw std::invalid_argument("CountMinSketch: depth and width "
+                                    "must be positive");
+    if (!(sampleProb_ > 0.0) || sampleProb_ > 1.0)
+        throw std::invalid_argument(
+            "CountMinSketch: rowSampleProb must be in (0, 1]");
+    counters_.assign(static_cast<std::size_t>(depth_) * width_, 0.0);
+}
+
+std::size_t
+CountMinSketch::cell(int row, std::uint64_t key) const
+{
+    std::uint64_t h = mix64(key ^ mix64(seed_ + 0x9E37ULL * (row + 1)));
+    return static_cast<std::size_t>(row) * width_ + h % width_;
+}
+
+double
+CountMinSketch::nextUniform()
+{
+    rngState_ = mix64(rngState_);
+    // 53-bit mantissa fraction in [0, 1).
+    return static_cast<double>(rngState_ >> 11) * 0x1.0p-53;
+}
+
+void
+CountMinSketch::update(std::uint64_t key, double w)
+{
+    ++updates_;
+    total_ += w;
+    if (sampleProb_ >= 1.0) {
+        for (int row = 0; row < depth_; ++row)
+            counters_[cell(row, key)] += w;
+        return;
+    }
+    // Nitrosketch: sample each row independently, add w/p so counter
+    // expectations match the exact sketch.
+    for (int row = 0; row < depth_; ++row)
+        if (nextUniform() < sampleProb_)
+            counters_[cell(row, key)] += w / sampleProb_;
+}
+
+double
+CountMinSketch::estimate(std::uint64_t key) const
+{
+    double est = counters_[cell(0, key)];
+    for (int row = 1; row < depth_; ++row) {
+        double c = counters_[cell(row, key)];
+        if (c < est)
+            est = c;
+    }
+    return est;
+}
+
+void
+CountMinSketch::reset()
+{
+    counters_.assign(counters_.size(), 0.0);
+    total_ = 0.0;
+    updates_ = 0;
+    rngState_ = mix64(seed_ ^ 0xA11CE5ULL);
+}
+
+void
+CountMinSketch::saveState(state::SaveContext &ctx) const
+{
+    state::ArchiveWriter &w = ctx.w();
+    w.putU32(static_cast<std::uint32_t>(counters_.size()));
+    for (double c : counters_)
+        w.putF64(c);
+    w.putF64(total_);
+    w.putU64(updates_);
+    w.putU64(rngState_);
+}
+
+void
+CountMinSketch::restoreState(state::SectionReader &r)
+{
+    if (r.getU32() != counters_.size())
+        throw state::ArchiveError(
+            "CountMinSketch: dimension mismatch — the restoring bank "
+            "must be constructed with the saved config");
+    for (double &c : counters_)
+        c = r.getF64();
+    total_ = r.getF64();
+    updates_ = r.getU64();
+    rngState_ = r.getU64();
+}
+
+// ------------------------------------------------------ SketchDetector
+
+SketchDetector::SketchDetector(Chip &chip, const SketchParams &p,
+                               Time tick_interval)
+    : Detector(chip), params_(p), tickInterval_(tick_interval),
+      sketch_(p.depth, p.width, p.rowSampleProb, p.seed),
+      lastAsserts_(chip.coreCount(), 0),
+      lastActive_(chip.coreCount(), 0)
+{
+}
+
+std::uint32_t
+SketchDetector::gapBucket(Time now, Time last) const
+{
+    // log2 of the gap in ticks: periodic traffic lands one bucket,
+    // Poisson traffic spreads geometrically.
+    std::uint64_t ticks = (now - last) / tickInterval_;
+    std::uint32_t b = 0;
+    while (ticks > 1) {
+        ticks >>= 1;
+        ++b;
+    }
+    return b;
+}
+
+void
+SketchDetector::fold(std::uint64_t key)
+{
+    sketch_.update(key);
+    double est = sketch_.estimate(key);
+    if (est > heavyEstimate_) {
+        heavyEstimate_ = est;
+        heavyKey_ = key;
+    }
+}
+
+double
+SketchDetector::statistic() const
+{
+    if (sketch_.updates() <
+        static_cast<std::uint64_t>(params_.minUpdates))
+        return 0.0;
+    return sketch_.totalWeight() > 0.0
+               ? heavyEstimate_ / sketch_.totalWeight()
+               : 0.0;
+}
+
+void
+SketchDetector::observe(Time now)
+{
+    for (int c = 0; c < chip_.coreCount(); ++c) {
+        std::uint64_t asserts = chip_.core(c).throttle().assertCount();
+        if (asserts != lastAsserts_[c]) {
+            if (lastActive_[c] != 0)
+                fold((static_cast<std::uint64_t>(c) << 8) |
+                     gapBucket(now, lastActive_[c]));
+            lastActive_[c] = now;
+            lastAsserts_[c] = asserts;
+        }
+    }
+    std::uint64_t pstates = chip_.pmu().pstateTransitions();
+    if (pstates != lastPstates_) {
+        if (lastPstateActive_ != 0)
+            fold((0xF00ULL << 8) | gapBucket(now, lastPstateActive_));
+        lastPstateActive_ = now;
+        lastPstates_ = pstates;
+    }
+    double s = statistic();
+    notePeak(s);
+    noteAlarmLevel(s >= params_.threshold, now);
+}
+
+void
+SketchDetector::saveState(state::SaveContext &ctx) const
+{
+    Detector::saveState(ctx);
+    state::ArchiveWriter &w = ctx.w();
+    sketch_.saveState(ctx);
+    w.putU32(static_cast<std::uint32_t>(lastAsserts_.size()));
+    for (std::size_t c = 0; c < lastAsserts_.size(); ++c) {
+        w.putU64(lastAsserts_[c]);
+        w.putU64(lastActive_[c]);
+    }
+    w.putU64(lastPstates_);
+    w.putU64(lastPstateActive_);
+    w.putF64(heavyEstimate_);
+    w.putU64(heavyKey_);
+}
+
+void
+SketchDetector::restoreState(state::SectionReader &r)
+{
+    Detector::restoreState(r);
+    sketch_.restoreState(r);
+    if (r.getU32() != lastAsserts_.size())
+        throw state::ArchiveError(
+            "SketchDetector: core count mismatch");
+    for (std::size_t c = 0; c < lastAsserts_.size(); ++c) {
+        lastAsserts_[c] = r.getU64();
+        lastActive_[c] = r.getU64();
+    }
+    lastPstates_ = r.getU64();
+    lastPstateActive_ = r.getU64();
+    heavyEstimate_ = r.getF64();
+    heavyKey_ = r.getU64();
+}
+
+} // namespace detect
+} // namespace ich

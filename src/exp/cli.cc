@@ -74,6 +74,11 @@ parseCli(int argc, const char *const *argv)
             cli.resume = true;
         } else if (arg == "--stream") {
             cli.stream = true;
+        } else if (arg == "--render-from") {
+            cli.renderFrom = next(i, arg);
+            if (cli.renderFrom.empty())
+                throw std::invalid_argument(
+                    "--render-from: empty directory");
         } else if (arg == "--shard") {
             cli.shard = parsePositiveInt(arg, next(i, arg));
         } else if (arg == "--shard-worker") {
@@ -135,6 +140,10 @@ cliUsage(const std::string &prog)
            "  --shard N       run sweeps across N worker processes "
            "(byte-identical\n"
            "                  to --jobs 1; combines with --resume)\n"
+           "  --render-from DIR\n"
+           "                  re-render reports from DIR's column store "
+           "without\n"
+           "                  re-simulating (store identity must match)\n"
            "  --list          list scenarios and exit\n"
            "  --help, -h      this text\n"
            "With no SCENARIO arguments every scenario runs.\n";

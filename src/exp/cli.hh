@@ -21,6 +21,11 @@
  *   --shard N     run sweeps across N worker *processes* (fork/exec of
  *                 this binary) instead of in-process threads; results
  *                 are byte-identical to --jobs 1
+ *   --render-from DIR
+ *                 no simulation: re-render reports (and the harness
+ *                 epilogue) from the column store a previous --stream /
+ *                 --resume run left in DIR; the store must match the
+ *                 scenario's grid/seed/trials identity
  *   --list        list available scenarios and exit
  *   --help        usage
  *   NAME...       positional: run only the named scenarios
@@ -63,6 +68,8 @@ struct CliOptions {
      *  the fly, keep no in-memory trial vector (million-point sweeps). */
     bool stream = false;
     int shard = 0; ///< > 0: run sweeps across N worker processes
+    /** Non-empty: skip simulation, re-render from this results dir. */
+    std::string renderFrom;
     bool list = false;
     bool help = false;
     std::vector<std::string> scenarios; ///< empty: run everything

@@ -138,6 +138,64 @@ printAndWrite(const Sweep &sweep, const CliOptions &cli,
     std::printf("\n");
 }
 
+/**
+ * --render-from: rebuild the sweep's identity from the registry spec,
+ * read the completed points out of the prior run's column store, and
+ * render exactly what the live run rendered — no simulation. The
+ * returned SweepResult carries the replayed aggregates, so harness
+ * epilogues (figure commentary, ROC post-processing) work unchanged.
+ */
+SweepResult
+renderFromStore(const ScenarioSpec &spec, const CliOptions &cli)
+{
+    SweepMeta meta;
+    meta.scenario = spec.name;
+    meta.description = spec.description;
+    meta.baseSeed = cli.seed.value_or(spec.baseSeed);
+    meta.trialsPerPoint = cli.trials.value_or(spec.trials);
+    meta.points = expandPoints(spec);
+    meta.gridFp = gridFingerprint(meta.points);
+
+    SweepResult result;
+    try {
+        const std::string store_path =
+            resultStorePath(cli.renderFrom, spec.name);
+        ColumnStoreReader reader(store_path);
+        if (!reader.matches(meta))
+            throw std::runtime_error(
+                store_path + ": store identity does not match scenario '" +
+                spec.name + "' (grid/seed/trials changed since the run)");
+        if (reader.completedPoints() != meta.numPoints())
+            throw std::runtime_error(
+                store_path + ": incomplete sweep (" +
+                std::to_string(reader.completedPoints()) + " of " +
+                std::to_string(meta.numPoints()) + " points)");
+
+        StreamingAggregator agg;
+        agg.beginSweep(meta);
+        reader.forEachPoint(
+            [&](std::size_t idx, const std::vector<TrialRecord> &recs) {
+                agg.acceptPoint(idx, recs.data(), recs.size());
+            });
+        agg.endSweep();
+
+        result.scenario = meta.scenario;
+        result.description = meta.description;
+        result.baseSeed = meta.baseSeed;
+        result.trialsPerPoint = meta.trialsPerPoint;
+        result.points = meta.points;
+        result.aggregates = agg.aggregates();
+
+        StoreSweepView view{meta, agg, reader};
+        printAndWrite(view, cli, meta.scenario, meta.description, 0,
+                      meta.numPoints());
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        std::exit(1);
+    }
+    return result;
+}
+
 SweepResult
 runAndReportStreaming(const ScenarioSpec &spec, const CliOptions &cli)
 {
@@ -199,6 +257,8 @@ runAndReportStreaming(const ScenarioSpec &spec, const CliOptions &cli)
 SweepResult
 runAndReport(const ScenarioSpec &spec, const CliOptions &cli)
 {
+    if (!cli.renderFrom.empty())
+        return renderFromStore(spec, cli);
     if (cli.stream)
         return runAndReportStreaming(spec, cli);
 

@@ -1,12 +1,27 @@
 #include "exp/scenario.hh"
 
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace ich
 {
 namespace exp
 {
+
+const std::string &
+internString(const std::string &s)
+{
+    // Node-based set: element addresses survive rehash, so the returned
+    // reference is stable for the life of the process. Never shrinks —
+    // the pool is bounded by the distinct axis names/labels ever seen,
+    // not by grid size.
+    static std::mutex mu;
+    static std::unordered_set<std::string> pool;
+    std::lock_guard<std::mutex> lock(mu);
+    return *pool.insert(s).first;
+}
 
 std::string
 formatValue(double v)
@@ -101,7 +116,7 @@ ParamPoint::toString() const
     for (const auto &e : entries_) {
         if (!s.empty())
             s += " ";
-        s += e.name + "=" + e.value.label;
+        s += e.name.str() + "=" + e.value.label.str();
     }
     return s;
 }

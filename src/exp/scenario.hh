@@ -26,10 +26,69 @@ namespace ich
 namespace exp
 {
 
+/**
+ * Intern @p s into the process-wide axis-string pool and return the
+ * canonical copy. Pointer-stable for the life of the process;
+ * thread-safe (interning is cold: grid expansion, store/manifest
+ * decode).
+ */
+const std::string &internString(const std::string &s);
+
+/**
+ * Interned axis string: a handle into the intern pool that converts
+ * implicitly to `const std::string &`.
+ *
+ * Axis names and value labels repeat across every point of a grid, yet
+ * each ParamPoint used to heap-copy both — the last O(points) memory
+ * term (~190 B/point) on every sweep path. An IStr is one pointer;
+ * identical strings share one canonical std::string.
+ */
+class IStr
+{
+  public:
+    IStr() : s_(&internString(std::string())) {}
+    IStr(const char *s) : s_(&internString(s)) {}
+    IStr(const std::string &s) : s_(&internString(s)) {}
+
+    operator const std::string &() const { return *s_; }
+    const std::string &str() const { return *s_; }
+    const char *c_str() const { return s_->c_str(); }
+    bool empty() const { return s_->empty(); }
+
+    /** Interned-pointer equality == string equality. */
+    friend bool operator==(const IStr &a, const IStr &b)
+    {
+        return a.s_ == b.s_;
+    }
+    friend bool operator==(const IStr &a, const std::string &b)
+    {
+        return *a.s_ == b;
+    }
+    friend bool operator==(const std::string &a, const IStr &b)
+    {
+        return a == *b.s_;
+    }
+    friend bool operator==(const IStr &a, const char *b)
+    {
+        return *a.s_ == b;
+    }
+    friend bool operator==(const char *a, const IStr &b)
+    {
+        return *b.s_ == a;
+    }
+    friend bool operator!=(const IStr &a, const IStr &b)
+    {
+        return a.s_ != b.s_;
+    }
+
+  private:
+    const std::string *s_;
+};
+
 /** One value on a parameter axis: numeric payload + display label. */
 struct ParamValue {
     double value = 0.0;
-    std::string label; ///< shown in reports; defaults to the number
+    IStr label; ///< shown in reports; defaults to the number
 };
 
 /** A named parameter axis. */
@@ -59,7 +118,7 @@ class ParamPoint
 {
   public:
     struct Entry {
-        std::string name;
+        IStr name;
         ParamValue value;
     };
 

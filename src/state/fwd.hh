@@ -14,6 +14,7 @@ namespace state
 {
 
 class ArchiveWriter;
+class ArchiveReader;
 class SectionReader;
 class SaveContext;
 class RestoreContext;

@@ -234,6 +234,12 @@ quiesce(Simulation &sim, Time max_wait)
 Buffer
 snapshot(Simulation &sim)
 {
+    return snapshot(sim, SnapshotHooks{});
+}
+
+Buffer
+snapshot(Simulation &sim, const SnapshotHooks &hooks)
+{
     std::string why;
     if (!isQuiesced(sim, &why))
         throw std::runtime_error("state::snapshot: not at a quiesce "
@@ -260,6 +266,8 @@ snapshot(Simulation &sim)
     w.beginSection("ticker");
     sim.chip().ticker().saveState(ctx);
     w.endSection();
+    if (hooks.save)
+        hooks.save(w, ctx);
 
     // Event census: every live event must belong to a component that
     // re-arms it on restore. A leftover NoiseInjector/PhiApp/Daq or a
@@ -283,11 +291,19 @@ snapshotToFile(Simulation &sim, const std::string &path)
 std::unique_ptr<Simulation>
 restore(const Buffer &buf)
 {
+    return restore(buf, RestoreHooks{});
+}
+
+std::unique_ptr<Simulation>
+restore(const Buffer &buf, const RestoreHooks &hooks)
+{
     ArchiveReader archive(buf);
     SectionReader config = archive.open("config");
     ChipConfig cfg = getChipConfig(config);
 
     auto sim = std::make_unique<Simulation>(cfg);
+    if (hooks.attach)
+        hooks.attach(*sim);
     RestoreContext ctx(sim->eq());
     SectionReader eq = archive.open("eq");
     sim->eq().restoreState(eq);
@@ -299,6 +315,8 @@ restore(const Buffer &buf)
     sim->chip().pmu().restoreState(pmu, ctx);
     SectionReader ticker = archive.open("ticker");
     sim->chip().ticker().restoreState(ticker, ctx);
+    if (hooks.restore)
+        hooks.restore(*sim, archive, ctx);
     ctx.finish();
 
     if (sim->eq().size() != ctx.rearmed())

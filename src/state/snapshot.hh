@@ -153,12 +153,49 @@ bool isQuiesced(const Simulation &sim, std::string *why = nullptr);
 void quiesce(Simulation &sim, Time max_wait = fromSeconds(1.0));
 
 /**
+ * Extra archive content supplied by components attached *around* the
+ * Simulation — e.g. a detect::DetectorBank riding the chip Ticker. The
+ * core sections stay fixed; attachments append their own named
+ * sections after them. Any pending event an attachment owns directly
+ * must be claimed via SaveContext::putEvent (Ticker-driven members are
+ * already covered by the "ticker" section).
+ */
+struct SnapshotHooks {
+    /** Write extra sections (after the core sections). */
+    std::function<void(ArchiveWriter &, SaveContext &)> save;
+};
+
+/**
+ * Mirror of SnapshotHooks for restore(): re-create the attachments on
+ * the fresh Simulation, then restore their sections.
+ */
+struct RestoreHooks {
+    /**
+     * Called right after the Simulation is constructed, before any
+     * section restore. Re-attach persistent Clocked members here, in
+     * the same order as before the snapshot, so the Ticker's saved
+     * rate groups find matching registrations.
+     */
+    std::function<void(Simulation &)> attach;
+    /**
+     * Called after the core sections have restored, before the deferred
+     * event re-arms replay — open and restore the sections written by
+     * SnapshotHooks::save.
+     */
+    std::function<void(Simulation &, ArchiveReader &, RestoreContext &)>
+        restore;
+};
+
+/**
  * Snapshot a quiesced simulation into a self-contained archive (chip
  * config included, so restore() needs nothing else). Throws
  * std::runtime_error when the simulation is not quiesced or when live
  * events remain that no component accounted for.
  */
 Buffer snapshot(Simulation &sim);
+
+/** snapshot() including the attachments' extra sections. */
+Buffer snapshot(Simulation &sim, const SnapshotHooks &hooks);
 
 /** snapshot() + atomic write to @p path. */
 void snapshotToFile(Simulation &sim, const std::string &path);
@@ -169,6 +206,10 @@ void snapshotToFile(Simulation &sim, const std::string &path);
  * Throws ArchiveError on a corrupt/mismatched archive.
  */
 std::unique_ptr<Simulation> restore(const Buffer &buf);
+
+/** restore() re-creating attachments via @p hooks (see RestoreHooks). */
+std::unique_ptr<Simulation> restore(const Buffer &buf,
+                                    const RestoreHooks &hooks);
 
 /** restore() from a file written by snapshotToFile(). */
 std::unique_ptr<Simulation> restoreFromFile(const std::string &path);

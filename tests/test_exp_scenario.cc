@@ -135,6 +135,30 @@ TEST(Seeds, DeterministicAndDistinct)
     EXPECT_EQ(seen.size(), 300u); // no collisions across small grids
 }
 
+TEST(Interning, PointsShareAxisStrings)
+{
+    // Axis names and labels are interned: every point of a grid refers
+    // to one canonical std::string, so the per-point memory term is a
+    // few pointers, not two heap strings per axis.
+    ScenarioSpec spec;
+    spec.name = "intern";
+    spec.axes = {axis("alpha-axis-with-a-long-name", {1.25, 2.5}),
+                 axisLabeled("beta", {"category-one", "category-two"})};
+    std::vector<ParamPoint> pts = expandPoints(spec);
+    ASSERT_EQ(pts.size(), 4u);
+    const std::string &n0 = pts[0].entries()[0].name;
+    const std::string &n3 = pts[3].entries()[0].name;
+    EXPECT_EQ(&n0, &n3); // same canonical string object
+    const std::string &l0 = pts[0].entries()[1].value.label;
+    const std::string &l2 = pts[2].entries()[1].value.label;
+    EXPECT_EQ(&l0, &l2);
+    // Re-interning an equal string from elsewhere lands on the pool copy.
+    EXPECT_EQ(&internString("category-one"), &l0);
+    // Interned handles still compare by content through the public API.
+    EXPECT_EQ(pts[0].label("beta"), "category-one");
+    EXPECT_DOUBLE_EQ(pts[0].get("alpha-axis-with-a-long-name"), 1.25);
+}
+
 TEST(Registry, AddFindListDuplicates)
 {
     ScenarioRegistry reg;
