@@ -653,6 +653,109 @@ simTickMetrics(std::uint64_t iters, unsigned probes, std::uint64_t seed)
     return m;
 }
 
+/**
+ * Fast-forward pump vs fully stepped dispatch over the same PDN-heavy
+ * chip (RAPL + governor + thermal periodic mix, observer bank, chunked
+ * heavy programs). Both runs go through the Ticker; the only difference
+ * is Simulation::setLegacyPdnEvents(). Every rep asserts the two modes
+ * are indistinguishable in simulated outcome — end time, executed
+ * events, delivered ticks, observer accumulators — so the reported
+ * speedup is over bit-identical work by construction.
+ */
+exp::MetricMap
+simFfMetrics(std::uint64_t iters, unsigned probes, std::uint64_t seed)
+{
+    struct RunOut {
+        Time end = 0;
+        std::uint64_t events = 0;
+        std::uint64_t ticks = 0;
+        std::uint64_t ffFires = 0;
+        double probeAcc = 0.0;
+        double wall = 0.0;
+    };
+    auto runOnce = [&](bool legacy) {
+        ChipConfig cfg = bench::pinned(presets::cannonLake(), 3.0);
+        cfg.pmu.powerLimit.enabled = true;
+        cfg.pmu.powerLimit.evalInterval = fromMicroseconds(200);
+        cfg.pmu.governor.evalInterval = fromMicroseconds(50);
+        cfg.thermal.sampleInterval = fromMicroseconds(20);
+        Simulation sim(cfg, seed);
+        sim.setLegacyPdnEvents(legacy);
+        for (int c = 0; c < sim.chip().coreCount(); ++c) {
+            Program p;
+            p.loopChunked(InstClass::k512Heavy, iters,
+                          /*record_every=*/10, /*tag=*/1);
+            sim.chip().core(c).thread(0).setProgram(std::move(p));
+            sim.chip().core(c).thread(0).start();
+        }
+        // Staggered phases put every probe in its own rate group: the
+        // stepped path pays one heap pop/push per probe per period,
+        // which is exactly the fine-grained periodic traffic the pump
+        // elides.
+        const Time probe_period = fromMicroseconds(1);
+        std::vector<ChipProbe> obs(probes);
+        for (unsigned i = 0; i < probes; ++i) {
+            obs[i].chip = &sim.chip();
+            Time phase = probes > 0 ? (probe_period * i) / probes : 0;
+            sim.chip().ticker().add(obs[i],
+                                    TickRate{probe_period, phase, 0},
+                                    Ticker::Ownership::kTransient);
+        }
+        RunOut out;
+        auto t0 = std::chrono::steady_clock::now();
+        out.end = sim.run();
+        out.wall = secondsSince(t0);
+        out.events = sim.eq().executedEvents();
+        out.ticks = sim.chip().ticker().ticksDelivered();
+        out.ffFires = sim.chip().ticker().ffFires();
+        for (const ChipProbe &p : obs)
+            out.probeAcc += p.acc;
+        for (ChipProbe &p : obs)
+            sim.chip().ticker().remove(p);
+        return out;
+    };
+
+    RunOut ff, stepped;
+    ff.wall = stepped.wall = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+        RunOut f = runOnce(/*legacy=*/false);
+        RunOut s = runOnce(/*legacy=*/true);
+        // Same simulated trajectory or the comparison is meaningless.
+        if (f.end != s.end || f.events != s.events ||
+            f.ticks != s.ticks || f.probeAcc != s.probeAcc)
+            throw std::runtime_error(
+                "BENCH_ff: fast-forward and stepped runs diverged "
+                "(end " + std::to_string(f.end) + " vs " +
+                std::to_string(s.end) + ", events " +
+                std::to_string(f.events) + " vs " +
+                std::to_string(s.events) + ")");
+        if (f.ffFires == 0)
+            throw std::runtime_error(
+                "BENCH_ff: fast-forward mode never pumped a tick");
+        if (s.ffFires != 0)
+            throw std::runtime_error(
+                "BENCH_ff: stepped oracle run pumped ticks");
+        if (f.wall < ff.wall)
+            ff = f;
+        if (s.wall < stepped.wall)
+            stepped = s;
+    }
+
+    double sim_ms = toSeconds(ff.end) * 1e3;
+    exp::MetricMap m;
+    m["sim_events"] = static_cast<double>(ff.events);
+    m["sim_wall_ms"] = ff.wall * 1e3;
+    m["stepped_wall_ms"] = stepped.wall * 1e3;
+    m["events_per_sec"] = static_cast<double>(ff.events) / ff.wall;
+    m["events_per_simulated_ms"] =
+        static_cast<double>(ff.events) / sim_ms;
+    m["ff_fires"] = static_cast<double>(ff.ffFires);
+    m["ff_fire_fraction"] =
+        static_cast<double>(ff.ffFires) / static_cast<double>(ff.events);
+    m["speedup_vs_stepped"] = stepped.wall / ff.wall;
+    return m;
+}
+
 exp::ScenarioRegistry
 buildScenarios()
 {
@@ -747,6 +850,26 @@ buildScenarios()
         return simTickMetrics(tick_iters, /*probes=*/64, ctx.seed);
     };
     reg.add(std::move(tick));
+
+    // Deliberately independent of ICH_PERF_SIM_ITERS: the ff-vs-stepped
+    // ratio needs a few ms of simulated work to rise above wall-clock
+    // noise (full size is still ~tens of ms; same policy as
+    // BENCH_record).
+    const std::uint64_t ff_iters = envCount("ICH_PERF_FF_ITERS", 20000);
+    const unsigned ff_probes = static_cast<unsigned>(
+        envCount("ICH_PERF_FF_PROBES", 64));
+
+    exp::ScenarioSpec ff;
+    ff.name = "BENCH_ff";
+    ff.description = "chip-level fast-forward pump vs fully stepped "
+                     "dispatch (bit-identical trajectories)";
+    ff.axes = {exp::axisLabeled("workload", {"sim_ff"})};
+    ff.trials = 3;
+    ff.baseSeed = 11;
+    ff.run = [=](const exp::TrialContext &ctx) {
+        return simFfMetrics(ff_iters, ff_probes, ctx.seed);
+    };
+    reg.add(std::move(ff));
     return reg;
 }
 
@@ -814,5 +937,20 @@ main(int argc, char **argv)
     if (groups.at("speedup_vs_per_event").mean < 1.3)
         std::printf("WARNING: tick_groups speedup below the 1.3x "
                     "refactor target\n");
+
+    bench::banner("BENCH_ff",
+                  "fast-forward pump vs fully stepped PDN/PMU dispatch");
+    exp::SweepResult ffres = exp::runAndReport(*reg.find("BENCH_ff"),
+                                               cli);
+    const auto &ffm = ffres.aggregates.at(0).metrics;
+    std::printf("\nsim_ff: %.1f ms ff vs %.1f ms stepped -> %.2fx wall "
+                "speedup (%.0f%% of events pumped inline)\n",
+                ffm.at("sim_wall_ms").mean,
+                ffm.at("stepped_wall_ms").mean,
+                ffm.at("speedup_vs_stepped").mean,
+                ffm.at("ff_fire_fraction").mean * 100.0);
+    if (ffm.at("speedup_vs_stepped").mean < 1.3)
+        std::printf("WARNING: fast-forward speedup below the 1.3x "
+                    "target\n");
     return 0;
 }

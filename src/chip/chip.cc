@@ -14,6 +14,7 @@ Chip::Chip(EventQueue &eq, Rng &rng, const ChipConfig &cfg)
         cores_.push_back(std::make_unique<Core>(*this, i, cfg_.core));
     pmu_ = std::make_unique<CentralPmu>(eq_, rng_, ticker_, cfg_.pmu,
                                         *this);
+    planner_ = std::make_unique<HorizonPlanner>(ticker_, *pmu_);
     thermalTick_.chip = this;
     if (cfg_.thermal.sampleInterval > 0)
         ticker_.add(thermalTick_,

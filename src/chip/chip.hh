@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "chip/horizon.hh"
 #include "common/event_queue.hh"
 #include "common/rng.hh"
 #include "common/ticker.hh"
@@ -58,6 +59,17 @@ class Chip : public ChipApi, public PmuHooks
     Ticker &ticker() { return ticker_; }
     const Ticker &ticker() const { return ticker_; }
     ThermalModel &thermal() { return thermal_; }
+    /** Fast-forward horizon planner (inline tick pump + diagnostics). */
+    HorizonPlanner &planner() { return *planner_; }
+    const HorizonPlanner &planner() const { return *planner_; }
+    /**
+     * Earliest committed discrete state change at or after now (armed
+     * Ticker groups + PMU/PDN deadlines); kTimeNever when quiescent.
+     */
+    Time nextInterestingTime() const
+    {
+        return planner_->nextInterestingTime();
+    }
     const ChipConfig &config() const { return cfg_; }
     ///@}
 
@@ -116,6 +128,7 @@ class Chip : public ChipApi, public PmuHooks
     Ticker ticker_; ///< declared before members that deregister in dtors
     std::vector<std::unique_ptr<Core>> cores_;
     std::unique_ptr<CentralPmu> pmu_;
+    std::unique_ptr<HorizonPlanner> planner_;
     ThermalModel thermal_;
     ThermalTick thermalTick_;
 };

@@ -1,0 +1,28 @@
+#include "chip/horizon.hh"
+
+#include <algorithm>
+
+#include "pmu/central_pmu.hh"
+
+namespace ich
+{
+
+std::uint64_t
+HorizonPlanner::advance(Time until)
+{
+    std::uint64_t fired = ticker_.fastForward(until);
+    fires_ += fired;
+    if (fired > 0)
+        ++spans_;
+    else
+        ++suppressions_;
+    return fired;
+}
+
+Time
+HorizonPlanner::nextInterestingTime() const
+{
+    return std::min(ticker_.nextGroupDue(), pmu_.nextInterestingTime());
+}
+
+} // namespace ich

@@ -26,7 +26,17 @@ Simulation::allProgramsDone() const
 Time
 Simulation::run(Time horizon)
 {
+    // Fast-forward mode interposes the inline tick pump before each
+    // dispatch: runs of due Ticker group fires execute in place
+    // (bit-identically to the stepped pops) and only non-tick events —
+    // the ones that can complete a program or change discrete PDN/PMU
+    // state — go through runOne(). Member ticks never flip a thread's
+    // done() (they throttle/re-rate but cannot retire a program), so
+    // skipping the per-event completion scan across a pumped span
+    // cannot move the stop point.
     while (!allProgramsDone()) {
+        if (!legacyPdnEvents_)
+            chip_->planner().advance(horizon);
         Time next = eq_.nextEventTime();
         if (next > horizon) {
             eq_.runUntil(horizon);
@@ -41,7 +51,17 @@ Simulation::run(Time horizon)
 void
 Simulation::runFor(Time duration)
 {
-    eq_.runUntil(eq_.now() + duration);
+    Time t = eq_.now() + duration;
+    if (!legacyPdnEvents_) {
+        for (;;) {
+            chip_->planner().advance(t);
+            if (eq_.nextEventTime() > t)
+                break;
+            if (!eq_.runOne())
+                break;
+        }
+    }
+    eq_.runUntil(t);
 }
 
 } // namespace ich

@@ -39,10 +39,24 @@ class Simulation
     /** Run for a fixed additional duration. */
     void runFor(Time duration);
 
+    /**
+     * Oracle switch: true restores the fully stepped dispatch path —
+     * every Ticker rate-group fire popped through the event queue —
+     * instead of the chip's fast-forward pump (the default). The two
+     * paths are bit-identical: same member ticks at the same
+     * timestamps, same event interleavings, same executedEvents(),
+     * same snapshot bytes. The stepped path survives as the
+     * byte-identity oracle, same discipline as
+     * HwThread::setLegacyChunkEvents().
+     */
+    void setLegacyPdnEvents(bool legacy) { legacyPdnEvents_ = legacy; }
+    bool legacyPdnEvents() const { return legacyPdnEvents_; }
+
   private:
     EventQueue eq_;
     Rng rng_;
     std::unique_ptr<Chip> chip_;
+    bool legacyPdnEvents_ = false;
 
     bool allProgramsDone() const;
 };

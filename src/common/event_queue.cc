@@ -7,6 +7,19 @@
 
 #include "state/snapshot.hh"
 
+// Branch hints for the churn hot path. The slow arms (slab growth,
+// stale handles, tombstones surfacing, scheduling-into-the-past
+// throws) run orders of magnitude less often than the fast arms, so
+// telling the compiler keeps the fall-through path straight-line under
+// -O3 where the heap-position side array already costs a few percent.
+#if defined(__GNUC__) || defined(__clang__)
+#define ICH_LIKELY(x) __builtin_expect(!!(x), 1)
+#define ICH_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#else
+#define ICH_LIKELY(x) (x)
+#define ICH_UNLIKELY(x) (x)
+#endif
+
 namespace ich
 {
 
@@ -15,7 +28,7 @@ EventQueue::~EventQueue() = default;
 std::uint32_t
 EventQueue::allocSlot()
 {
-    if (freeHead_ == kNilIndex) {
+    if (ICH_UNLIKELY(freeHead_ == kNilIndex)) {
         // Grow one slab and thread it onto the free list in ascending
         // slot order (order is irrelevant for event ordering — the heap
         // tie-breaks on the insertion sequence — but keeps ids tidy).
@@ -50,7 +63,7 @@ EventQueue::releaseSlot(std::uint32_t slot)
 EventId
 EventQueue::schedule(Time when, Callback cb, int priority)
 {
-    if (when < now_)
+    if (ICH_UNLIKELY(when < now_))
         throw std::logic_error("EventQueue: scheduling into the past");
     std::uint32_t slot = allocSlot();
     Node &n = node(slot);
@@ -65,7 +78,8 @@ void
 EventQueue::deschedule(EventId id)
 {
     std::uint64_t slotPlus1 = id >> 32;
-    if (slotPlus1 == 0 || slotPlus1 > slabs_.size() * kSlabSize)
+    if (ICH_UNLIKELY(slotPlus1 == 0 ||
+                     slotPlus1 > slabs_.size() * kSlabSize))
         return;
     Node &n = node(static_cast<std::uint32_t>(slotPlus1 - 1));
     if (!n.live || n.gen != static_cast<std::uint32_t>(id))
@@ -81,10 +95,11 @@ EventQueue::deschedule(EventId id)
 bool
 EventQueue::reschedule(EventId id, Time when)
 {
-    if (when < now_)
+    if (ICH_UNLIKELY(when < now_))
         throw std::logic_error("EventQueue: rescheduling into the past");
     std::uint64_t slotPlus1 = id >> 32;
-    if (slotPlus1 == 0 || slotPlus1 > slabs_.size() * kSlabSize)
+    if (ICH_UNLIKELY(slotPlus1 == 0 ||
+                     slotPlus1 > slabs_.size() * kSlabSize))
         return false;
     std::uint32_t slot = static_cast<std::uint32_t>(slotPlus1 - 1);
     Node &n = node(slot);
@@ -105,14 +120,20 @@ void
 EventQueue::siftAt(std::size_t i, const HeapEntry &e)
 {
     // Hole-based decrease-or-increase-key: the new key either rises
-    // toward the root or sinks toward the leaves, never both.
-    if (i > 0 && entryBefore(e, heap_[(i - 1) / 4])) {
+    // toward the root or sinks toward the leaves, never both. The heap
+    // and side array never grow inside a sift, so both are addressed
+    // through raw pointers — under -O3 this drops the per-move bounds/
+    // capacity reloads the vector accessors cost (the side-array write
+    // doubled the memory traffic per displaced entry).
+    HeapEntry *const h = heap_.data();
+    std::uint32_t *const pos = heapPos_.data();
+    if (i > 0 && entryBefore(e, h[(i - 1) / 4])) {
         do {
             std::size_t parent = (i - 1) / 4;
-            if (!entryBefore(e, heap_[parent]))
+            if (!entryBefore(e, h[parent]))
                 break;
-            heap_[i] = heap_[parent];
-            heapPos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+            h[i] = h[parent];
+            pos[h[i].slot] = static_cast<std::uint32_t>(i);
             i = parent;
         } while (i > 0);
     } else {
@@ -122,27 +143,27 @@ EventQueue::siftAt(std::size_t i, const HeapEntry &e)
             if (first >= n)
                 break;
             std::size_t best = first;
-            std::size_t end = std::min(first + 4, n);
+            const std::size_t end = std::min(first + 4, n);
             for (std::size_t c = first + 1; c < end; ++c)
-                if (entryBefore(heap_[c], heap_[best]))
+                if (entryBefore(h[c], h[best]))
                     best = c;
-            if (!entryBefore(heap_[best], e))
+            if (!entryBefore(h[best], e))
                 break;
-            heap_[i] = heap_[best];
-            heapPos_[heap_[i].slot] = static_cast<std::uint32_t>(i);
+            h[i] = h[best];
+            pos[h[i].slot] = static_cast<std::uint32_t>(i);
             i = best;
         }
     }
-    heap_[i] = e;
-    heapPos_[e.slot] = static_cast<std::uint32_t>(i);
+    h[i] = e;
+    pos[e.slot] = static_cast<std::uint32_t>(i);
 }
 
 bool
 EventQueue::pruneHead()
 {
-    while (!heap_.empty()) {
+    while (ICH_LIKELY(!heap_.empty())) {
         std::uint32_t slot = heap_.front().slot;
-        if (node(slot).live)
+        if (ICH_LIKELY(node(slot).live))
             return true;
         heapPopRoot();
         releaseSlot(slot);
@@ -157,6 +178,25 @@ EventQueue::nextEventTime()
 }
 
 bool
+EventQueue::peekNext(Time &when, EventId &id)
+{
+    if (!pruneHead())
+        return false;
+    const HeapEntry &e = heap_.front();
+    when = e.when;
+    id = makeId(e.slot, node(e.slot).gen);
+    return true;
+}
+
+void
+EventQueue::creditInlineEvent(Time when)
+{
+    assert(when >= now_);
+    now_ = when;
+    ++executed_;
+}
+
+bool
 EventQueue::runOne()
 {
     for (;;) {
@@ -165,7 +205,7 @@ EventQueue::runOne()
         HeapEntry e = heap_.front();
         heapPopRoot();
         Node &n = node(e.slot);
-        if (!n.live) {
+        if (ICH_UNLIKELY(!n.live)) {
             releaseSlot(e.slot);
             continue;
         }

@@ -55,6 +55,18 @@ class EventQueue
     /** Invalid event handle. */
     static constexpr EventId kInvalidEvent = 0;
 
+    /**
+     * Dense slot index embedded in a valid handle — stable for the
+     * lifetime of the pending event and bounded by the queue's slab
+     * capacity, so callers can key O(1) side tables by event (the
+     * Ticker's fast-forward pump does). Meaningless for kInvalidEvent.
+     */
+    static std::uint32_t
+    slotIndex(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32) - 1;
+    }
+
     EventQueue() = default;
 
     // The pool hands out interior pointers; moving the queue would not
@@ -142,6 +154,26 @@ class EventQueue
      * Discards cancelled entries encountered at the head.
      */
     Time nextEventTime();
+
+    /**
+     * Peek the next live event without running it: discards cancelled
+     * entries at the head, then reports the head's timestamp and
+     * handle. The fast-forward pump uses this to recognize events it
+     * can fire in place (Ticker rate-group fires).
+     *
+     * @return false when the queue is empty.
+     */
+    bool peekNext(Time &when, EventId &id);
+
+    /**
+     * Credit one event fired in place: advance the clock to @p when
+     * and count it as executed, without touching the heap. The inline
+     * fire path (Ticker::fastForward) runs the head event's work
+     * directly and retargets its heap entry via reschedule(), so this
+     * keeps now()/executedEvents() — and therefore snapshot bytes —
+     * identical to the popped dispatch path.
+     */
+    void creditInlineEvent(Time when);
 
     /**
      * Run the single next event, if any.

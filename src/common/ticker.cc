@@ -108,6 +108,7 @@ Ticker::armGroup(Group &g)
     Group *gp = &g;
     g.event = eq_.scheduleChecked(
         g.nextDue, [this, gp] { fireGroup(*gp); }, g.rate.priority);
+    pumpIndexDirty_ = true;
 }
 
 void
@@ -143,8 +144,108 @@ Ticker::fireGroup(Group &g)
 }
 
 void
+Ticker::fireGroupInline(Group &g)
+{
+    // Mirror of fireGroup() for the fast-forward pump: the group's
+    // event is still in the heap (never popped), so g.event stays
+    // valid through the pass. add() during the pass then sees the
+    // group as armed and skips arming — the same outcome fireGroup()'s
+    // dispatching guard produces — and the new member still first
+    // ticks on the next period via its minDue.
+    g.dispatching = true;
+    Time now = eq_.now();
+    // Fixed bound: members added during the pass tick next period.
+    const std::size_t count = g.members.size();
+    for (std::size_t i = 0; i < count; ++i) {
+        const Member &m = g.members[i];
+        if (m.clocked != nullptr && now >= m.minDue) {
+            ++ticks_;
+            m.clocked->tick(now);
+        }
+    }
+    g.dispatching = false;
+    if (g.hasHoles) {
+        g.hasHoles = false;
+        std::size_t w = 0;
+        for (std::size_t i = 0; i < g.members.size(); ++i)
+            if (g.members[i].clocked != nullptr)
+                g.members[w++] = g.members[i];
+        g.members.resize(w);
+    }
+    if (g.members.empty()) {
+        // The popped path had already consumed the event; here it is
+        // still pending and must be cancelled explicitly.
+        eq_.deschedule(g.event);
+        pruneGroup(&g); // frees g — must be the last use
+        return;
+    }
+    g.nextDue += g.rate.period;
+    // Retarget the pending event in place. reschedule() assigns a
+    // fresh insertion sequence *after* member dispatch — exactly the
+    // sequence armGroup()'s schedule() would have burned — so the
+    // (time, priority, seq) ordering of everything members scheduled
+    // is identical to the stepped path.
+    if (!eq_.reschedule(g.event, g.nextDue))
+        armGroup(g);
+}
+
+std::uint64_t
+Ticker::fastForward(Time until)
+{
+    std::uint64_t fires = 0;
+    for (;;) {
+        Time when;
+        EventId head;
+        if (!eq_.peekNext(when, head) || when > until)
+            break;
+        // Re-check per iteration: an inline fire that empties or
+        // re-arms a group (reschedule to a past slot, transient churn)
+        // invalidates the index mid-span.
+        if (pumpIndexDirty_) {
+            pumpIndex_.assign(pumpIndex_.size(), nullptr);
+            for (auto &gp : groups_) {
+                if (gp->event == EventQueue::kInvalidEvent)
+                    continue;
+                std::uint32_t s = EventQueue::slotIndex(gp->event);
+                if (s >= pumpIndex_.size())
+                    pumpIndex_.resize(s + 1, nullptr);
+                pumpIndex_[s] = gp.get();
+            }
+            pumpIndexDirty_ = false;
+        }
+        std::uint32_t slot = EventQueue::slotIndex(head);
+        Group *g =
+            slot < pumpIndex_.size() ? pumpIndex_[slot] : nullptr;
+        // The handle check makes the hit authoritative: ids are
+        // generation-tagged, so only the group that owns this pending
+        // event can match. Anything else means a non-tick event holds
+        // the head and the skip is suppressed.
+        if (g == nullptr || g->event != head)
+            break;
+        // Advance the clock and credit the fire before dispatch,
+        // matching runOne()'s now_/executed_ updates.
+        eq_.creditInlineEvent(when);
+        fireGroupInline(*g);
+        ++fires;
+    }
+    ffFires_ += fires;
+    return fires;
+}
+
+Time
+Ticker::nextGroupDue() const
+{
+    Time best = ~Time{0};
+    for (const auto &g : groups_)
+        if (g->event != EventQueue::kInvalidEvent && g->nextDue < best)
+            best = g->nextDue;
+    return best;
+}
+
+void
 Ticker::pruneGroup(Group *g)
 {
+    pumpIndexDirty_ = true;
     for (auto it = groups_.begin(); it != groups_.end(); ++it) {
         if (it->get() == g) {
             groups_.erase(it);
@@ -215,6 +316,7 @@ Ticker::restoreState(state::SectionReader &r, state::RestoreContext &ctx)
             raw->nextDue = when;
             raw->event = eq.schedule(
                 when, [this, raw] { fireGroup(*raw); }, priority);
+            pumpIndexDirty_ = true;
         });
     }
 }

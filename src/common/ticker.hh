@@ -129,6 +129,32 @@ class Ticker
     std::uint64_t ticksDelivered() const { return ticks_; }
 
     /**
+     * Fast-forward pump: while the event queue's head is one of this
+     * Ticker's group events due at or before @p until, fire the group
+     * in place — same members, same timestamps, same registration
+     * order, same arithmetic as the popped dispatch — without the heap
+     * pop/push, slot recycle, or callback construction per period. The
+     * group's pending event is retargeted via reschedule(), which burns
+     * exactly the insertion sequence armGroup()'s schedule() would, so
+     * events scheduled by members interleave identically with the
+     * stepped path (ties included) and executedEvents()/snapshot bytes
+     * are unchanged. Any non-tick event at the head stops the pump and
+     * surfaces to the caller's normal dispatch loop — that is how VR
+     * ramp completions, SVID transactions, p-state transitions and
+     * thread chunk boundaries suppress skipping.
+     *
+     * @return group fires performed (0 when the head is not a due tick).
+     */
+    std::uint64_t fastForward(Time until);
+
+    /** Total inline group fires performed by fastForward() (stats; not
+     *  serialized — legacy and fast-forward runs snapshot identically). */
+    std::uint64_t ffFires() const { return ffFires_; }
+
+    /** Earliest armed group due time, or ~Time{0} with no armed group. */
+    Time nextGroupDue() const;
+
+    /**
      * Snapshot hooks. Group clocks re-arm at their saved absolute times;
      * persistent members must already have re-registered (construction
      * order is config-deterministic). Throws while a transient member is
@@ -162,10 +188,21 @@ class Ticker
     EventQueue &eq_;
     std::vector<std::unique_ptr<Group>> groups_; ///< creation order
     std::uint64_t ticks_ = 0;
+    std::uint64_t ffFires_ = 0;
+    /**
+     * Pending-event → group index for the pump's head lookup, keyed by
+     * the event's dense slot (EventQueue::slotIndex). Rebuilt lazily
+     * whenever a group arms, re-arms, or is pruned; steady-state inline
+     * fires keep their EventId through reschedule() so the index
+     * survives whole pumped spans untouched.
+     */
+    std::vector<Group *> pumpIndex_;
+    bool pumpIndexDirty_ = true;
 
     Group &groupFor(TickRate rate);
     void armGroup(Group &g);
     void fireGroup(Group &g);
+    void fireGroupInline(Group &g);
     void pruneGroup(Group *g);
 
     /** Earliest grid point strictly after @p now. */

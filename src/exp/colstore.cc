@@ -425,6 +425,13 @@ ColumnStoreWriter::acceptPoint(std::size_t point_idx,
 }
 
 void
+ColumnStoreWriter::sync()
+{
+    flushChunk();
+    file_.sync();
+}
+
+void
 ColumnStoreWriter::flushChunk()
 {
     if (pending_.empty())

@@ -84,6 +84,15 @@ class ColumnStoreWriter final : public ResultSink
                      std::size_t count) override;
     void endSweep() override;
 
+    /**
+     * Flush buffered records and fsync the file now. The batch-durable
+     * middle ground: a non-durable writer that sync()s every few
+     * points pays one fsync per batch instead of per point, and a kill
+     * still loses at most the points since the last sync (torn final
+     * frames are dropped by readers as usual).
+     */
+    void sync();
+
     /** Points already present when beginSweep() adopted the file. */
     std::size_t adoptedPoints() const { return adoptedPoints_; }
 

@@ -59,6 +59,18 @@ class Svid
     /** Total transactions settled (stats/tests). */
     std::uint64_t completedTransactions() const { return completed_; }
 
+    /**
+     * Fast-forward query: the in-flight transaction's VR completion
+     * deadline, or kTimeNever when the bus is idle. Queued transactions
+     * start inside the completion callback chain, so the head
+     * transaction's deadline is always the bus's next discrete change.
+     */
+    Time
+    nextInterestingTime() const
+    {
+        return busy() ? vr_.nextInterestingTime() : kTimeNever;
+    }
+
     VoltageRegulator &vr() { return vr_; }
     const VoltageRegulator &vr() const { return vr_; }
 

@@ -94,6 +94,19 @@ class VoltageRegulator
      */
     Time transitionTime(double target_volts) const;
 
+    /**
+     * Fast-forward query: absolute time of the pending completion
+     * event (ramp end + settle, jitter already applied), or kTimeNever
+     * when the rail is settled. The ramp itself is closed-form —
+     * volts() interpolates — so completion is the only discrete state
+     * change this component owns.
+     */
+    Time
+    nextInterestingTime() const
+    {
+        return busy_ ? rampEndTime_ + cfg_.settleTime : kTimeNever;
+    }
+
     const VrConfig &config() const { return cfg_; }
 
     /**

@@ -314,6 +314,7 @@ CentralPmu::startPstateTransition(double target_ghz)
 {
     assert(!pstateInFlight_);
     pstateInFlight_ = true;
+    pstateDoneAt_ = eq_.now() + cfg_.pstate.transitionLatency;
     ++pstateCount_;
     for (CoreId c = 0; c < hooks_.numCores(); ++c)
         hooks_.assertCoreThrottle(c, ThrottleReason::kPstate, 0);
@@ -449,6 +450,27 @@ CentralPmu::restoreState(state::SectionReader &r,
     for (auto &svid : svids_)
         svid->restoreState(r, ctx);
     powerLimiter_->restoreState(r);
+}
+
+Time
+CentralPmu::nextInterestingTime() const
+{
+    Time best = kTimeNever;
+    if (pstateInFlight_)
+        best = std::min(best, pstateDoneAt_);
+    Time when;
+    std::int32_t prio;
+    std::uint64_t seq;
+    if (upclockEvent_ != EventQueue::kInvalidEvent &&
+        eq_.pendingInfo(upclockEvent_, when, prio, seq))
+        best = std::min(best, when);
+    for (const CoreState &cs : coreState_)
+        if (cs.decay.id() != EventQueue::kInvalidEvent &&
+            eq_.pendingInfo(cs.decay.id(), when, prio, seq))
+            best = std::min(best, when);
+    for (const auto &svid : svids_)
+        best = std::min(best, svid->nextInterestingTime());
+    return best;
 }
 
 void

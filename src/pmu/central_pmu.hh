@@ -141,6 +141,18 @@ class CentralPmu
     ///@}
 
     /**
+     * Fast-forward query: earliest deadline among the PMU's self-owned
+     * discrete state changes — the pending P-state transition
+     * completion, the pending upclock, per-core guardband decay checks,
+     * and in-flight SVID/VR transactions. kTimeNever when quiescent.
+     * Periodic governor/RAPL evaluations live in the Ticker's rate
+     * groups (Ticker::nextGroupDue()); a pending writeGovernor() apply
+     * is untracked and deliberately not reported — it bounds the
+     * fast-forward pump naturally by surfacing at the event-queue head.
+     */
+    Time nextInterestingTime() const;
+
+    /**
      * Snapshot hooks. Legal only at a quiesce point: no P-state
      * transition in flight, every SVID bus idle, no pending governor
      * write (writeGovernor's apply event is untracked and makes
@@ -204,6 +216,9 @@ class CentralPmu
 
     double freqGhz_;
     bool pstateInFlight_ = false;
+    /** Completion deadline of the in-flight P-state transition
+     *  (diagnostic; meaningful only while pstateInFlight_). */
+    Time pstateDoneAt_ = 0;
     /** Last downclock was license-caused: upclock waits for release. */
     bool licenseCausedDownclock_ = false;
     EventId upclockEvent_ = EventQueue::kInvalidEvent;

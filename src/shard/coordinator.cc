@@ -35,6 +35,11 @@ namespace
 namespace fs = std::filesystem;
 using Clock = std::chrono::steady_clock;
 
+/** Adaptive batching targets ~this much measured work per kAssign. */
+constexpr double kTargetAssignMs = 4.0;
+/** Adaptive batch ceiling (fixed assignBatch > 0 is uncapped). */
+constexpr std::size_t kMaxAdaptiveBatch = 16;
+
 /** Unrecoverable sweep failure (carries the loud report). */
 struct AbortError {
     std::string message;
@@ -49,6 +54,8 @@ struct Slot {
     std::size_t outPos = 0;
     std::deque<std::size_t> queue;  ///< pinned units not yet sent
     std::set<std::size_t> inflight; ///< sent, not yet completed
+    /** Heartbeat arrival per in-flight unit (adaptive batch sizing). */
+    std::map<std::uint64_t, Clock::time_point> startedAt;
     /** Warm keys this slot holds (scratch persists across respawns). */
     std::set<std::string> keysHeld;
     int spawns = 0;
@@ -133,6 +140,13 @@ struct Run {
     std::vector<Slot> slots;
     std::string runDir; ///< per-run scratch (removed on clean exit)
     Buffer helloPayload;
+    /**
+     * EWMA of per-point wall cost in ms, measured heartbeat → result.
+     * Batched points' later results include time spent behind their
+     * batchmates, which over-estimates cheap points — that only
+     * shrinks the next batch, so the feedback is self-limiting.
+     */
+    double pointCostMs = 0.0;
 
     Run(const exp::ScenarioSpec &s, const ShardOptions &o,
         exp::ResultSink &k)
@@ -220,6 +234,7 @@ struct Run {
         s.decoder = FrameDecoder();
         s.outbox.clear();
         s.outPos = 0;
+        s.startedAt.clear();
         s.alive = true;
         s.lastFrame = Clock::now();
         ++s.spawns;
@@ -320,27 +335,55 @@ struct Run {
         return true;
     }
 
+    /**
+     * Points per kAssign frame: fixed when opts.assignBatch > 0,
+     * otherwise sized so one frame carries ~kTargetAssignMs of
+     * measured work (1 until the first measurement arrives).
+     */
+    std::size_t batchTarget() const
+    {
+        if (opts.assignBatch > 0)
+            return static_cast<std::size_t>(opts.assignBatch);
+        if (pointCostMs <= 0.0)
+            return 1;
+        double n = kTargetAssignMs / pointCostMs;
+        if (n <= 1.0)
+            return 1;
+        if (n >= static_cast<double>(kMaxAdaptiveBatch))
+            return kMaxAdaptiveBatch;
+        return static_cast<std::size_t>(n);
+    }
+
     void topUp(Slot &s)
     {
-        while (s.alive && s.inflight.size() <
-                              static_cast<std::size_t>(opts.unitWindow)) {
-            std::size_t unit;
-            if (!s.queue.empty()) {
-                unit = s.queue.front();
-                s.queue.pop_front();
-            } else if (!orphans.empty()) {
-                unit = orphans.front();
-                orphans.pop_front();
-            } else if (!stealInto(s, unit)) {
-                return;
-            }
-            if (completed[unit])
-                continue; // recovered from a scratch manifest
-            sendWarmIfNeeded(s, unit);
+        const std::size_t batch = batchTarget();
+        const std::size_t window =
+            static_cast<std::size_t>(opts.unitWindow) * batch;
+        while (s.alive && s.inflight.size() < window) {
             AssignMsg assign;
-            assign.pointIndex = unit;
+            while (assign.pointIndices.size() < batch &&
+                   s.inflight.size() + assign.pointIndices.size() <
+                       window) {
+                std::size_t unit;
+                if (!s.queue.empty()) {
+                    unit = s.queue.front();
+                    s.queue.pop_front();
+                } else if (!orphans.empty()) {
+                    unit = orphans.front();
+                    orphans.pop_front();
+                } else if (!stealInto(s, unit)) {
+                    break;
+                }
+                if (completed[unit])
+                    continue; // recovered from a scratch manifest
+                sendWarmIfNeeded(s, unit);
+                assign.pointIndices.push_back(unit);
+            }
+            if (assign.pointIndices.empty())
+                return;
             enqueueFrame(s, MsgType::kAssign, encodeAssign(assign));
-            s.inflight.insert(unit);
+            for (std::uint64_t unit : assign.pointIndices)
+                s.inflight.insert(static_cast<std::size_t>(unit));
         }
     }
 
@@ -417,8 +460,14 @@ struct Run {
                      "— mixed binaries?)");
             break;
           }
-          case MsgType::kHeartbeat:
-            break; // lastFrame already refreshed by the read loop
+          case MsgType::kHeartbeat: {
+            // Liveness is already covered (lastFrame refreshes on any
+            // frame); the payload feeds adaptive batch sizing.
+            HeartbeatMsg hb = decodeHeartbeat(frame.payload);
+            if (hb.pointIndex != ~0ull)
+                s.startedAt[hb.pointIndex] = Clock::now();
+            break;
+          }
           case MsgType::kSnapshotData: {
             SnapshotMsg msg = decodeSnapshot(frame.payload);
             s.keysHeld.insert(msg.key);
@@ -440,6 +489,16 @@ struct Run {
           case MsgType::kResult: {
             ResultMsg msg = decodeResult(frame.payload);
             std::size_t unit = static_cast<std::size_t>(msg.pointIndex);
+            auto started = s.startedAt.find(msg.pointIndex);
+            if (started != s.startedAt.end()) {
+                double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - started->second)
+                                .count();
+                s.startedAt.erase(started);
+                pointCostMs = pointCostMs <= 0.0
+                                  ? ms
+                                  : 0.7 * pointCostMs + 0.3 * ms;
+            }
             adoptPoint(unit, msg.trials, "worker " + std::to_string(idx));
             s.inflight.erase(unit);
             break;
@@ -511,6 +570,7 @@ struct Run {
             orphans.push_back(unit);
         }
         s.inflight.clear();
+        s.startedAt.clear();
         for (std::size_t unit : s.queue)
             if (!completed[unit])
                 orphans.push_back(unit);
@@ -754,6 +814,9 @@ ShardCoordinator::runStreaming(const exp::ScenarioSpec &spec,
         opts_.maxSpawnsPerWorker < 1)
         throw std::invalid_argument(
             "ShardCoordinator: window/attempt/spawn bounds must be >= 1");
+    if (opts_.assignBatch < 0)
+        throw std::invalid_argument(
+            "ShardCoordinator: assignBatch must be >= 0 (0 = adaptive)");
 
     ShardOptions resolved = opts_;
     if (resolved.binaryPath.empty())

@@ -81,8 +81,22 @@ struct ShardOptions {
      * flag like `--grid large` that shapes the scenario registry.
      */
     std::vector<std::string> workerArgs;
-    /** Assignments kept in flight per worker (pipelining). */
+    /** Assignment frames kept in flight per worker (pipelining); the
+     *  point window is unitWindow * the current batch size. */
     int unitWindow = 2;
+    /**
+     * Grid points packed per kAssign frame. 1 sends one point per
+     * frame (the pre-batching behavior); N > 1 always packs up to N.
+     * 0 (default) adapts: the coordinator tracks an EWMA of measured
+     * per-point wall cost (heartbeat to result) and sizes batches so
+     * one frame carries a few milliseconds of work — cheap points
+     * (≲1 ms) pack up to 16 per frame so the per-frame scratch sync
+     * and framing stop dominating, while expensive points keep the
+     * fine-grained scheduling of one per frame. Batching is invisible
+     * in the results: workers run batched points in order and report
+     * one kResult each, so the sweep stays byte-identical.
+     */
+    int assignBatch = 0;
     /** A unit failing this many times aborts the sweep. */
     int maxUnitAttempts = 3;
     /** Spawn budget per worker slot (first launch + respawns). */

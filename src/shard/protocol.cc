@@ -361,7 +361,9 @@ Buffer
 encodeAssign(const AssignMsg &m)
 {
     WireWriter w;
-    w.putU64(m.pointIndex);
+    w.putU32(static_cast<std::uint32_t>(m.pointIndices.size()));
+    for (std::uint64_t idx : m.pointIndices)
+        w.putU64(idx);
     return w.take();
 }
 
@@ -370,7 +372,10 @@ decodeAssign(const Buffer &payload)
 {
     WireReader r(payload);
     AssignMsg m;
-    m.pointIndex = r.getU64();
+    std::uint32_t n = r.getU32();
+    m.pointIndices.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+        m.pointIndices.push_back(r.getU64());
     return m;
 }
 

@@ -21,7 +21,9 @@
  *   kHello       C->W  sweep identity: scenario, seed/trials overrides,
  *                      point count, grid fingerprint
  *   kHelloAck    W->C  worker pid + its own grid fingerprint (must match)
- *   kAssign      C->W  one work unit: a grid-point index (all trials)
+ *   kAssign      C->W  a batch of work units: grid-point indices (all
+ *                      trials each); cheap points pack several per
+ *                      frame so framing + durability amortize
  *   kSnapshotPut C->W  pre-seed the worker's warm cache for a key
  *   kSnapshotData W->C a warm snapshot the worker just computed
  *   kResult      W->C  completed point: per-trial seeds + metric bits
@@ -172,8 +174,14 @@ struct HelloAckMsg {
     std::uint64_t gridFp = 0;
 };
 
+/**
+ * One or more work units for a worker. Batching is a pure framing
+ * optimization: the worker runs the points in order and reports one
+ * kResult per point, so results, placement, and byte-identity are
+ * indistinguishable from the same indices sent one frame each.
+ */
 struct AssignMsg {
-    std::uint64_t pointIndex = 0;
+    std::vector<std::uint64_t> pointIndices;
 };
 
 /** Warm snapshot keyed by the scenario's warmupKey (either direction). */

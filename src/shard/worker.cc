@@ -170,13 +170,16 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
         // Per-worker partial column store: same header as the master
         // so the coordinator can scavenge it back after a crash. A
         // respawned worker adopts its predecessor's file and keeps
-        // appending. Durable mode: each point is one fsync'd chunk.
-        // Never endSweep()'d — a scratch store is partial by contract.
-        // Scratch is an optimization, never worth the unit: any write
-        // failure warns once and disables crash recovery for this
-        // worker.
+        // appending. Batch-durable: one explicit sync() per assignment
+        // batch instead of per-point fsyncs, so cheap points packed
+        // many to a frame amortize the durability cost; a kill loses
+        // at most the unreported batch in flight, which the
+        // coordinator reassigns. Never endSweep()'d — a scratch store
+        // is partial by contract. Scratch is an optimization, never
+        // worth the unit: any write failure warns once and disables
+        // crash recovery for this worker.
         exp::ColumnStoreWriter::Options scratch_opts;
-        scratch_opts.durable = true;
+        scratch_opts.durable = false;
         exp::ColumnStoreWriter scratch(
             exp::resultStorePath(cfg.scratchDir, hello.scenario),
             scratch_opts);
@@ -203,73 +206,98 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
                 break;
               case MsgType::kAssign: {
                 AssignMsg assign = decodeAssign(frame.payload);
-                std::size_t point_idx =
-                    static_cast<std::size_t>(assign.pointIndex);
-                if (point_idx >= points.size())
-                    return fatal("assigned point " +
-                                 std::to_string(point_idx) +
-                                 " beyond the grid");
-                HeartbeatMsg hb;
-                hb.pointIndex = assign.pointIndex;
-                writeFrame(cfg.outFd, MsgType::kHeartbeat,
-                           encodeHeartbeat(hb));
-                ++units_started;
-                if (cfg.killAfterUnits > 0 &&
-                    units_started >= cfg.killAfterUnits) {
-                    // Test hook: die mid-unit, the ugly way, so the
-                    // coordinator sees a raw EOF with a unit in flight.
-                    ::raise(SIGKILL);
-                }
+                if (assign.pointIndices.empty())
+                    return fatal("empty assignment batch");
+                // Durability order matters at batch granularity:
+                // every point lands in the scratch store, ONE sync()
+                // makes the whole batch fsync-durable, and only then
+                // do the result frames go out. A kill before the sync
+                // reverts the batch to unreported+unrecovered (it is
+                // simply reassigned); a kill after it loses nothing —
+                // the coordinator scavenges the store.
+                std::vector<ResultMsg> batch_results;
+                batch_results.reserve(assign.pointIndices.size());
+                for (std::uint64_t unit : assign.pointIndices) {
+                    std::size_t point_idx =
+                        static_cast<std::size_t>(unit);
+                    if (point_idx >= points.size())
+                        return fatal("assigned point " +
+                                     std::to_string(point_idx) +
+                                     " beyond the grid");
+                    HeartbeatMsg hb;
+                    hb.pointIndex = unit;
+                    writeFrame(cfg.outFd, MsgType::kHeartbeat,
+                               encodeHeartbeat(hb));
+                    ++units_started;
+                    if (cfg.killAfterUnits > 0 &&
+                        units_started >= cfg.killAfterUnits) {
+                        // Test hook: die mid-unit, the ugly way, so
+                        // the coordinator sees a raw EOF with a unit
+                        // in flight.
+                        ::raise(SIGKILL);
+                    }
 
-                const exp::ParamPoint &point = points[point_idx];
-                const state::Buffer *snapshot = nullptr;
-                if (spec->warmup) {
-                    std::string key = spec->warmupKey
-                                          ? spec->warmupKey(point)
-                                          : point.toString();
-                    snapshot = &warm.get(point, key);
-                }
+                    const exp::ParamPoint &point = points[point_idx];
+                    const state::Buffer *snapshot = nullptr;
+                    if (spec->warmup) {
+                        std::string key = spec->warmupKey
+                                              ? spec->warmupKey(point)
+                                              : point.toString();
+                        snapshot = &warm.get(point, key);
+                    }
 
-                ResultMsg result;
-                result.pointIndex = assign.pointIndex;
-                for (int t = 0; t < trials_per_point; ++t) {
-                    std::uint64_t global_idx =
-                        static_cast<std::uint64_t>(point_idx) *
-                            static_cast<std::uint64_t>(
-                                trials_per_point) +
-                        static_cast<std::uint64_t>(t);
-                    exp::TrialRecord rec;
-                    rec.pointIndex = point_idx;
-                    rec.trial = t;
-                    rec.seed =
-                        exp::deriveTrialSeed(base_seed, global_idx);
-                    exp::TrialContext ctx{point, point_idx, t, rec.seed,
-                                          snapshot};
-                    rec.metrics = spec->run(ctx);
-                    result.trials.push_back(std::move(rec));
-                }
+                    ResultMsg result;
+                    result.pointIndex = unit;
+                    for (int t = 0; t < trials_per_point; ++t) {
+                        std::uint64_t global_idx =
+                            static_cast<std::uint64_t>(point_idx) *
+                                static_cast<std::uint64_t>(
+                                    trials_per_point) +
+                            static_cast<std::uint64_t>(t);
+                        exp::TrialRecord rec;
+                        rec.pointIndex = point_idx;
+                        rec.trial = t;
+                        rec.seed =
+                            exp::deriveTrialSeed(base_seed, global_idx);
+                        exp::TrialContext ctx{point, point_idx, t,
+                                              rec.seed, snapshot};
+                        rec.metrics = spec->run(ctx);
+                        result.trials.push_back(std::move(rec));
+                    }
 
-                // Durability order matters: scratch store first
-                // (fsync'd append), result frame second. A kill in
-                // between loses no completed work — the coordinator
-                // scavenges the store.
+                    if (scratch_ok) {
+                        try {
+                            scratch.acceptPoint(point_idx,
+                                                result.trials.data(),
+                                                result.trials.size());
+                        } catch (const std::exception &e) {
+                            std::fprintf(
+                                stderr,
+                                "shard worker: scratch store write "
+                                "failed (crash recovery for this "
+                                "worker disabled): %s\n",
+                                e.what());
+                            scratch_ok = false;
+                        }
+                    }
+                    batch_results.push_back(std::move(result));
+                }
                 if (scratch_ok) {
                     try {
-                        scratch.acceptPoint(point_idx,
-                                            result.trials.data(),
-                                            result.trials.size());
+                        scratch.sync();
                     } catch (const std::exception &e) {
                         std::fprintf(
                             stderr,
-                            "shard worker: scratch store write failed "
+                            "shard worker: scratch store sync failed "
                             "(crash recovery for this worker "
                             "disabled): %s\n",
                             e.what());
                         scratch_ok = false;
                     }
                 }
-                writeFrame(cfg.outFd, MsgType::kResult,
-                           encodeResult(result));
+                for (const ResultMsg &result : batch_results)
+                    writeFrame(cfg.outFd, MsgType::kResult,
+                               encodeResult(result));
                 break;
               }
               default:

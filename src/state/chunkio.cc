@@ -154,6 +154,16 @@ ChunkFileWriter::append(std::uint32_t kind, const Buffer &body)
 }
 
 void
+ChunkFileWriter::sync()
+{
+    if (fd_ < 0)
+        return;
+    if (::fsync(fd_) != 0)
+        throw ArchiveError("chunkio: fsync failed on '" + path_ +
+                           "': " + std::strerror(errno));
+}
+
+void
 ChunkFileWriter::close()
 {
     if (fd_ >= 0) {

@@ -83,6 +83,13 @@ class ChunkFileWriter
     /** Append one frame (and fsync it in durable mode). */
     void append(std::uint32_t kind, const Buffer &body);
 
+    /**
+     * fsync the file now regardless of durability mode — lets a
+     * non-durable writer amortize one fsync across a batch of appends
+     * instead of paying one per frame. No-op on a closed writer.
+     */
+    void sync();
+
     void close();
     bool isOpen() const { return fd_ >= 0; }
     const std::string &path() const { return path_; }

@@ -254,7 +254,7 @@ TEST(ShardProtocol, MessagesRoundTripThroughTheDecoder)
     append(shard::MsgType::kHello, shard::encodeHello(hello));
     append(shard::MsgType::kHelloAck,
            shard::encodeHelloAck({4321, hello.gridFp}));
-    append(shard::MsgType::kAssign, shard::encodeAssign({11}));
+    append(shard::MsgType::kAssign, shard::encodeAssign({{11}}));
     append(shard::MsgType::kSnapshotPut, shard::encodeSnapshot(snap));
     append(shard::MsgType::kResult, shard::encodeResult(result));
     append(shard::MsgType::kHeartbeat, shard::encodeHeartbeat({5}));
@@ -283,7 +283,9 @@ TEST(ShardProtocol, MessagesRoundTripThroughTheDecoder)
     EXPECT_EQ(a2.pid, 4321);
     EXPECT_EQ(a2.gridFp, hello.gridFp);
 
-    EXPECT_EQ(shard::decodeAssign(frames[2].payload).pointIndex, 11u);
+    shard::AssignMsg asg = shard::decodeAssign(frames[2].payload);
+    ASSERT_EQ(asg.pointIndices.size(), 1u);
+    EXPECT_EQ(asg.pointIndices[0], 11u);
 
     shard::SnapshotMsg s2 = shard::decodeSnapshot(frames[3].payload);
     EXPECT_EQ(s2.key, snap.key);
@@ -303,11 +305,24 @@ TEST(ShardProtocol, MessagesRoundTripThroughTheDecoder)
     EXPECT_EQ(shard::decodeError(frames[7].payload).message, "it broke");
 }
 
+TEST(ShardProtocol, AssignBatchesRoundTrip)
+{
+    shard::AssignMsg m;
+    m.pointIndices = {3, 0, 0xFFFFFFFFFFFFull, 7, 7};
+    shard::AssignMsg back = shard::decodeAssign(shard::encodeAssign(m));
+    EXPECT_EQ(back.pointIndices, m.pointIndices);
+
+    shard::AssignMsg empty;
+    EXPECT_TRUE(
+        shard::decodeAssign(shard::encodeAssign(empty)).pointIndices
+            .empty());
+}
+
 TEST(ShardProtocol, GarbledPayloadFailsTheCrc)
 {
     shard::Buffer f =
         shard::encodeFrame(shard::MsgType::kAssign,
-                           shard::encodeAssign({3}));
+                           shard::encodeAssign({{3}}));
     f[shard::kFrameHeaderBytes] ^= 0x01; // flip one payload bit
 
     shard::FrameDecoder dec;
@@ -347,7 +362,7 @@ TEST(ShardProtocol, TruncatedStreamNeedsMoreBytesButReadFrameThrows)
 {
     shard::Buffer f =
         shard::encodeFrame(shard::MsgType::kAssign,
-                           shard::encodeAssign({9}));
+                           shard::encodeAssign({{9}}));
 
     // The incremental decoder treats a partial frame as "not yet".
     shard::FrameDecoder dec;
@@ -439,6 +454,34 @@ TEST(ShardSweep, ByteIdenticalToSerialRun)
     TempDir dir("shard_math");
     exp::SweepResult sharded =
         shard::runSharded(spec, shardOpts(dir));
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
+// Batching is a pure framing optimization: several points per kAssign
+// frame must produce the same bytes as one per frame (which in turn
+// matches the serial run).
+TEST(ShardSweep, FixedAssignBatchIsByteIdentical)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_batch");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.assignBatch = 4;
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
+// A worker killed partway through a batch loses at most the unreported
+// batch: reassignment + scratch scavenging still converge on the same
+// bytes.
+TEST(ShardSweep, SurvivesAWorkerKilledMidBatch)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_batch_kill");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.assignBatch = 3;
+    opts.testKillWorker0AfterUnits = 2; // dies starting its batch's 2nd
+    opts.maxUnitAttempts = 5;
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
     EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
 }
 
