@@ -96,6 +96,10 @@ parseCli(int argc, const char *const *argv)
                     "--shard-scratch: empty directory");
         } else if (arg == "--shard-kill-after") {
             cli.shardKillAfter = parsePositiveInt(arg, next(i, arg));
+        } else if (arg == "--shard-fault") {
+            cli.shardFault = next(i, arg);
+            if (cli.shardFault.empty())
+                throw std::invalid_argument("--shard-fault: empty spec");
         } else if (arg == "--list") {
             cli.list = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -39,6 +39,10 @@
  *   --shard-scratch DIR      per-worker snapshot cache + manifest
  *   --shard-kill-after N     failure injection: SIGKILL while starting
  *                            the Nth assigned unit (tests only)
+ *   --shard-fault SPEC       failure injection: arm a fault::Plan in
+ *                            the worker (fault/fault.hh grammar) so
+ *                            scripted faults fire at named protocol
+ *                            points and I/O sites (tests/torture only)
  */
 
 #ifndef ICH_EXP_CLI_HH
@@ -88,6 +92,7 @@ struct CliOptions {
     int shardOutFd = -1;
     std::string shardScratch;
     int shardKillAfter = 0;
+    std::string shardFault; ///< fault::Plan spec to arm in the worker
 };
 
 /**

@@ -8,6 +8,7 @@
 #include "exp/colstore.hh"
 #include "exp/resume.hh"
 #include "exp/runner.hh"
+#include "fault/fault.hh"
 #include "shard/coordinator.hh"
 #include "shard/worker.hh"
 
@@ -46,6 +47,19 @@ toShardOptions(const CliOptions &cli)
     if (cli.resume)
         sopts.resumeDir = cli.outDir;
     sopts.workerArgs = cli.shardWorkerArgs;
+    if (const char *stall = std::getenv("ICH_SHARD_STALL_MS")) {
+        // Escape hatch for sweeps whose single points legitimately run
+        // longer than the 30 s default (0 disables the watchdog).
+        try {
+            sopts.stallTimeoutMs =
+                static_cast<int>(std::stol(stall));
+        } catch (const std::exception &) {
+            std::fprintf(stderr,
+                         "warning: ignoring non-numeric "
+                         "ICH_SHARD_STALL_MS='%s'\n",
+                         stall);
+        }
+    }
     return sopts;
 }
 
@@ -56,6 +70,15 @@ harnessSetup(int argc, const char *const *argv,
              const ScenarioRegistry &registry, CliOptions &cli)
 {
     std::string prog = argc > 0 ? argv[0] : "harness";
+    try {
+        // Every harness can be a fault-injection victim: plans (and
+        // the torture harness's crash-point counting mode) arrive via
+        // ICH_FAULT_PLAN / ICH_FAULT_COUNT_FILE. No-op when unset.
+        fault::armFromEnv();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: ICH_FAULT_PLAN: %s\n", e.what());
+        return 2;
+    }
     try {
         cli = parseCli(argc, argv);
     } catch (const std::exception &e) {
@@ -78,6 +101,7 @@ harnessSetup(int argc, const char *const *argv,
         wcfg.outFd = cli.shardOutFd;
         wcfg.scratchDir = cli.shardScratch;
         wcfg.killAfterUnits = cli.shardKillAfter;
+        wcfg.faultSpec = cli.shardFault;
         return shard::runWorker(registry, wcfg);
     }
     if (cli.help) {

@@ -203,6 +203,10 @@ struct Run {
             args.push_back("--shard-kill-after");
             args.push_back(std::to_string(opts.testKillWorker0AfterUnits));
         }
+        if (idx == 0 && !opts.testWorker0FaultSpec.empty()) {
+            args.push_back("--shard-fault");
+            args.push_back(opts.testWorker0FaultSpec);
+        }
         std::vector<char *> argv;
         argv.reserve(args.size() + 1);
         for (std::string &a : args)

@@ -105,8 +105,16 @@ struct ShardOptions {
      * Kill a hung worker after this long without any frame while work
      * is in flight (0: disabled — EOF detection covers killed workers;
      * the timeout exists for live-but-wedged ones).
+     *
+     * Default 30 s: workers heartbeat at every point start, so a
+     * healthy worker goes silent for at most one point's runtime plus
+     * one batch's scratch sync — comfortably under 30 s for every CI
+     * smoke while still reaping a genuinely wedged worker. Raise it
+     * (or set 0) for sweeps whose single points legitimately run
+     * longer than this; the harness driver honors an
+     * ICH_SHARD_STALL_MS env override for exactly that.
      */
-    int stallTimeoutMs = 0;
+    int stallTimeoutMs = 30000;
     /** Same contract as RunnerOptions::progress. */
     std::function<void(std::size_t, std::size_t)> progress;
     /**
@@ -115,6 +123,16 @@ struct ShardOptions {
      * its Nth assigned unit. <= 0: disabled.
      */
     int testKillWorker0AfterUnits = 0;
+    /**
+     * Failure-injection hook (torture harness): worker slot 0 is
+     * spawned with `--shard-fault SPEC`, arming this fault::Plan spec
+     * in the worker process — scripted crash/hang/slow/torn faults at
+     * named protocol points and worker I/O sites. Every spawn of the
+     * slot re-arms the plan, so a respawned worker replays the same
+     * fault unless the plan's occurrence clock says otherwise.
+     * Empty: disabled.
+     */
+    std::string testWorker0FaultSpec;
 };
 
 class ShardCoordinator

@@ -11,6 +11,7 @@
 
 #include "exp/colstore.hh"
 #include "exp/resume.hh"
+#include "fault/fault.hh"
 #include "shard/protocol.hh"
 #include "state/archive.hh"
 
@@ -121,6 +122,9 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
     };
 
     try {
+        if (!cfg.faultSpec.empty())
+            fault::arm(fault::parsePlan(cfg.faultSpec));
+
         Frame hello_frame = readFrame(cfg.inFd);
         if (hello_frame.type != MsgType::kHello)
             return fatal(std::string("expected hello, got ") +
@@ -164,6 +168,7 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
         ack.pid = static_cast<std::int32_t>(::getpid());
         ack.gridFp = grid_fp;
         writeFrame(cfg.outFd, MsgType::kHelloAck, encodeHelloAck(ack));
+        fault::procPoint("shard.post-hello");
 
         WarmCache warm(*spec, cfg.scratchDir, cfg.outFd);
 
@@ -228,6 +233,10 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
                     hb.pointIndex = unit;
                     writeFrame(cfg.outFd, MsgType::kHeartbeat,
                                encodeHeartbeat(hb));
+                    // Mid-Assign-batch fault point: occ=K lands the
+                    // fault at the Kth point of the sweep, so a batch
+                    // can die (or hang) between its points.
+                    fault::procPoint("shard.point-start");
                     ++units_started;
                     if (cfg.killAfterUnits > 0 &&
                         units_started >= cfg.killAfterUnits) {
@@ -295,9 +304,37 @@ runWorker(const exp::ScenarioRegistry &registry, const WorkerConfig &cfg)
                         scratch_ok = false;
                     }
                 }
-                for (const ResultMsg &result : batch_results)
+                // After-scratch-sync-before-Result: the classic lost
+                // window. A crash here loses every result frame of the
+                // batch but none of its scratch durability — the
+                // coordinator must scavenge the whole batch back.
+                fault::procPoint("shard.post-sync");
+                for (const ResultMsg &result : batch_results) {
+                    std::uint64_t tear = 0;
+                    if (fault::procPoint("shard.result-frame", &tear)) {
+                        // Torn result frame: write a strict prefix of
+                        // the encoded frame and die mid-frame, so the
+                        // coordinator's decoder sees a partial frame
+                        // followed by EOF.
+                        Buffer wire = encodeFrame(
+                            MsgType::kResult, encodeResult(result));
+                        std::size_t k = wire.size() < 2
+                                            ? 0
+                                            : 1 + tear % (wire.size() - 1);
+                        std::size_t sent = 0;
+                        while (sent < k) {
+                            ssize_t n = ::write(cfg.outFd,
+                                                wire.data() + sent,
+                                                k - sent);
+                            if (n <= 0)
+                                break;
+                            sent += static_cast<std::size_t>(n);
+                        }
+                        ::raise(SIGKILL);
+                    }
                     writeFrame(cfg.outFd, MsgType::kResult,
                                encodeResult(result));
+                }
                 break;
               }
               default:

@@ -42,6 +42,15 @@ struct WorkerConfig {
      * while starting the Nth assigned unit (1-based; <= 0: disabled).
      */
     int killAfterUnits = 0;
+    /**
+     * Failure-injection hook for the torture harness: a fault::Plan
+     * spec (fault/fault.hh grammar) armed at worker start. Scripts
+     * crash/hang/slow/torn faults at the named protocol points
+     * (shard.post-hello, shard.point-start, shard.post-sync,
+     * shard.result-frame) and at the worker's I/O sites (scratch
+     * store writes). Empty: disabled.
+     */
+    std::string faultSpec;
 };
 
 /**

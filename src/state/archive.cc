@@ -1,11 +1,14 @@
 #include "state/archive.hh"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include <fcntl.h>
 #include <unistd.h>
+
+#include "io/fileops.hh"
 
 namespace ich
 {
@@ -46,12 +49,13 @@ constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 4;
 } // namespace
 
 std::uint32_t
-crc32(const std::uint8_t *data, std::size_t size)
+crc32(const std::uint8_t *data, std::size_t size, std::uint32_t seed)
 {
     // Bitwise CRC-32 (reflected, poly 0xEDB88320). Snapshots are taken
     // at quiesce points, not in inner loops; simplicity wins over a
-    // lookup table here.
-    std::uint32_t crc = 0xFFFFFFFFu;
+    // lookup table here. A seed of 0 starts a fresh CRC; passing a
+    // previous result continues it (~0 un-finalizes the prior call).
+    std::uint32_t crc = ~seed;
     for (std::size_t i = 0; i < size; ++i) {
         crc ^= data[i];
         for (int b = 0; b < 8; ++b)
@@ -64,25 +68,57 @@ void
 atomicWriteFile(const std::string &path, const Buffer &data)
 {
     const std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        throw ArchiveError("cannot open '" + tmp + "' for writing");
-    std::size_t written =
-        data.empty() ? 0 : std::fwrite(data.data(), 1, data.size(), f);
-    bool flushed = std::fflush(f) == 0;
+    int fd = io::open(tmp.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644,
+                      "archive.write");
+    if (fd < 0)
+        throw ArchiveError("archive: cannot open '" + tmp +
+                           "' for writing [site archive.write]: " +
+                           std::strerror(errno));
+    auto bail = [&](const std::string &what, int err) {
+        if (fd >= 0)
+            ::close(fd);
+        std::remove(tmp.c_str());
+        throw ArchiveError("archive: " + what + " [site archive.write]" +
+                           (err ? std::string(": ") + std::strerror(err)
+                                : std::string()));
+    };
+    std::size_t done = 0;
+    while (done < data.size()) {
+        ssize_t n = io::write(fd, data.data() + done, data.size() - done,
+                              "archive.write", tmp.c_str());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            bail("write failed on '" + tmp + "' at byte " +
+                     std::to_string(done) + " of " +
+                     std::to_string(data.size()),
+                 errno);
+        }
+        if (n == 0)
+            // A zero-byte write for a nonzero count cannot make
+            // progress; looping on it would spin forever.
+            bail("write of " + std::to_string(data.size() - done) +
+                     " bytes to '" + tmp + "' returned 0",
+                 0);
+        done += static_cast<std::size_t>(n);
+    }
     // Data must be on disk before the rename publishes the file, or a
     // power cut can leave the *new* name pointing at garbage — atomic
     // replacement is only atomic if the bytes land first.
-    bool synced = flushed && ::fsync(::fileno(f)) == 0;
-    bool closed = std::fclose(f) == 0;
-    if (written != data.size() || !flushed || !synced || !closed) {
-        std::remove(tmp.c_str());
-        throw ArchiveError("short write to '" + tmp + "'");
+    if (io::fsync(fd, "archive.write", tmp.c_str()) != 0)
+        bail("fsync failed on '" + tmp + "'", errno);
+    if (::close(fd) != 0) {
+        fd = -1;
+        bail("close failed on '" + tmp + "'", errno);
     }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fd = -1;
+    if (io::rename(tmp.c_str(), path.c_str(), "archive.write") != 0) {
+        int err = errno;
         std::remove(tmp.c_str());
-        throw ArchiveError("cannot rename '" + tmp + "' to '" + path +
-                           "'");
+        throw ArchiveError("archive: cannot rename '" + tmp + "' to '" +
+                           path + "' [site archive.write]: " +
+                           std::strerror(err));
     }
     // The rename itself lives in the directory: fsync it too, so the
     // new directory entry survives a crash. Failure here is not fatal —
@@ -102,18 +138,31 @@ atomicWriteFile(const std::string &path, const Buffer &data)
 Buffer
 readFile(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        throw ArchiveError("cannot open '" + path + "'");
+    int fd = io::open(path.c_str(), O_RDONLY | O_CLOEXEC, 0,
+                      "archive.read");
+    if (fd < 0)
+        throw ArchiveError("archive: cannot open '" + path +
+                           "' [site archive.read]: " +
+                           std::strerror(errno));
     Buffer data;
     std::uint8_t chunk[65536];
-    std::size_t n;
-    while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0)
+    for (;;) {
+        ssize_t n = io::read(fd, chunk, sizeof chunk, "archive.read",
+                             path.c_str());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            int err = errno;
+            ::close(fd);
+            throw ArchiveError("archive: read failed on '" + path +
+                               "' [site archive.read]: " +
+                               std::strerror(err));
+        }
+        if (n == 0)
+            break;
         data.insert(data.end(), chunk, chunk + n);
-    bool bad = std::ferror(f);
-    std::fclose(f);
-    if (bad)
-        throw ArchiveError("read error on '" + path + "'");
+    }
+    ::close(fd);
     return data;
 }
 

@@ -49,8 +49,12 @@ constexpr std::uint32_t kArchiveVersion = 2; ///< v2: Ticker rate-group
                                              ///< PowerGate/PowerLimiter
                                              ///< layouts
 
-/** CRC-32 (IEEE 802.3 polynomial) of @p data. */
-std::uint32_t crc32(const std::uint8_t *data, std::size_t size);
+/**
+ * CRC-32 (IEEE 802.3 polynomial) of @p data. @p seed chains calls over
+ * discontiguous buffers: crc32(b, nb, crc32(a, na)) == crc32(a || b).
+ */
+std::uint32_t crc32(const std::uint8_t *data, std::size_t size,
+                    std::uint32_t seed = 0);
 
 /**
  * Write @p data to @p path atomically: the bytes land in @p path.tmp

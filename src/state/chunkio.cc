@@ -9,6 +9,8 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "io/fileops.hh"
+
 namespace ich
 {
 namespace state
@@ -36,6 +38,78 @@ get32(const std::uint8_t *p)
            (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
+/**
+ * pread exactly @p count bytes at @p off, retrying EINTR and partial
+ * reads. The caller guarantees (via the scanned file size) that the
+ * bytes exist, so EOF mid-read is an I/O error, not a torn tail.
+ */
+void
+preadExact(int fd, void *buf, std::size_t count, std::uint64_t off,
+           const std::string &path)
+{
+    std::uint8_t *p = static_cast<std::uint8_t *>(buf);
+    std::size_t done = 0;
+    while (done < count) {
+        ssize_t n = io::pread(fd, p + done, count - done,
+                              static_cast<off_t>(off + done),
+                              "chunk.read", path.c_str());
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw ArchiveError("chunkio: read failed on '" + path +
+                               "' at offset " +
+                               std::to_string(off + done) +
+                               " [site chunk.read]: " +
+                               std::strerror(errno));
+        }
+        if (n == 0)
+            throw ArchiveError("chunkio: unexpected EOF on '" + path +
+                               "' at offset " +
+                               std::to_string(off + done) +
+                               " [site chunk.read]");
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+/**
+ * A torn tail can only be the last thing in a file — appends are
+ * sequential, so nothing ever lands after an unfinished frame. When an
+ * apparent tear is followed by an intact frame, the "tear" is really a
+ * corrupted length field about to swallow good data, and silently
+ * dropping those frames would be a wrong answer. Scans the tail once
+ * (recovery path only); the full-frame CRC makes a false positive a
+ * ~2^-32 accident per candidate offset.
+ */
+void
+requireTearIsTail(int fd, const std::string &path,
+                  std::uint64_t tear_off, std::uint64_t size)
+{
+    constexpr std::size_t kMinFrame =
+        kFrameHeaderSize + kFrameTrailerSize;
+    std::uint64_t tail_len = size - tear_off;
+    // The torn frame's header occupies the first bytes of the tail, so
+    // a buried intact frame needs at least one more header's worth.
+    if (tail_len < kFrameHeaderSize + kMinFrame)
+        return;
+    Buffer tail(static_cast<std::size_t>(tail_len));
+    preadExact(fd, tail.data(), tail.size(), tear_off, path);
+    for (std::size_t i = 1; i + kMinFrame <= tail.size(); ++i) {
+        if (get32(tail.data() + i) != kChunkFrameMagic)
+            continue;
+        std::uint32_t len = get32(tail.data() + i + 8);
+        if (len > tail.size() - i - kMinFrame)
+            continue;
+        const std::uint8_t *f = tail.data() + i;
+        if (get32(f + kFrameHeaderSize + len) ==
+            crc32(f, kFrameHeaderSize + len))
+            throw ArchiveError(
+                "chunkio: intact frame found after an incomplete frame "
+                "in '" + path + "' at offset " +
+                std::to_string(tear_off) +
+                " (corrupted frame length, not a torn tail)");
+    }
+}
+
 void
 fsyncParentDir(const std::string &path)
 {
@@ -57,11 +131,15 @@ fsyncParentDir(const std::string &path)
 void
 appendChunkFrame(Buffer &out, std::uint32_t kind, const Buffer &body)
 {
+    const std::size_t start = out.size();
     put32(out, kChunkFrameMagic);
     put32(out, kind);
     put32(out, static_cast<std::uint32_t>(body.size()));
     out.insert(out.end(), body.begin(), body.end());
-    put32(out, crc32(body.data(), body.size()));
+    // The CRC covers the whole frame, header included (see chunkio.hh):
+    // a bodyLen or kind bit-flip must fail the checksum, not redefine
+    // how the rest of the file parses.
+    put32(out, crc32(out.data() + start, out.size() - start));
 }
 
 // ------------------------------------------------------------- writer
@@ -84,11 +162,12 @@ ChunkFileWriter::create(const std::string &path, bool durable)
                                p.parent_path().string() +
                                "': " + ec.message());
     }
-    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                 0644);
+    fd_ = io::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                   0644, "chunk.write");
     if (fd_ < 0)
         throw ArchiveError("chunkio: cannot create '" + path +
-                           "': " + std::strerror(errno));
+                           "' [site chunk.write]: " +
+                           std::strerror(errno));
     path_ = path;
     durable_ = durable;
     if (durable_)
@@ -100,17 +179,20 @@ ChunkFileWriter::openAppend(const std::string &path,
                             std::uint64_t valid_bytes, bool durable)
 {
     close();
-    fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+    fd_ = io::open(path.c_str(), O_WRONLY | O_CLOEXEC, 0, "chunk.write");
     if (fd_ < 0)
         throw ArchiveError("chunkio: cannot open '" + path +
-                           "' for append: " + std::strerror(errno));
+                           "' for append [site chunk.write]: " +
+                           std::strerror(errno));
     // Drop a torn tail so appends resume on a frame boundary.
-    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0) {
+    if (io::ftruncate(fd_, static_cast<off_t>(valid_bytes),
+                      "chunk.write", path.c_str()) != 0) {
         int err = errno;
         ::close(fd_);
         fd_ = -1;
         throw ArchiveError("chunkio: cannot truncate '" + path +
-                           "': " + std::strerror(err));
+                           "' [site chunk.write]: " +
+                           std::strerror(err));
     }
     if (::lseek(fd_, 0, SEEK_END) < 0) {
         int err = errno;
@@ -128,13 +210,25 @@ ChunkFileWriter::writeAll(const Buffer &bytes)
 {
     std::size_t done = 0;
     while (done < bytes.size()) {
-        ssize_t n = ::write(fd_, bytes.data() + done, bytes.size() - done);
+        ssize_t n = io::write(fd_, bytes.data() + done,
+                              bytes.size() - done, "chunk.write",
+                              path_.c_str());
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            throw ArchiveError("chunkio: write failed on '" + path_ +
-                               "': " + std::strerror(errno));
+            throw ArchiveError(
+                "chunkio: write failed on '" + path_ +
+                "' at byte " + std::to_string(done) + " of " +
+                std::to_string(bytes.size()) +
+                " [site chunk.write]: " + std::strerror(errno));
         }
+        if (n == 0)
+            // write() returning 0 for a nonzero count never makes
+            // progress; retrying would spin forever.
+            throw ArchiveError("chunkio: write of " +
+                               std::to_string(bytes.size() - done) +
+                               " bytes to '" + path_ +
+                               "' returned 0 [site chunk.write]");
         done += static_cast<std::size_t>(n);
     }
 }
@@ -148,9 +242,11 @@ ChunkFileWriter::append(std::uint32_t kind, const Buffer &body)
     frame.reserve(kFrameHeaderSize + body.size() + kFrameTrailerSize);
     appendChunkFrame(frame, kind, body);
     writeAll(frame);
-    if (durable_ && ::fsync(fd_) != 0)
+    if (durable_ &&
+        io::fsync(fd_, "chunk.write", path_.c_str()) != 0)
         throw ArchiveError("chunkio: fsync failed on '" + path_ +
-                           "': " + std::strerror(errno));
+                           "' [site chunk.write]: " +
+                           std::strerror(errno));
 }
 
 void
@@ -158,9 +254,10 @@ ChunkFileWriter::sync()
 {
     if (fd_ < 0)
         return;
-    if (::fsync(fd_) != 0)
+    if (io::fsync(fd_, "chunk.write", path_.c_str()) != 0)
         throw ArchiveError("chunkio: fsync failed on '" + path_ +
-                           "': " + std::strerror(errno));
+                           "' [site chunk.write]: " +
+                           std::strerror(errno));
 }
 
 void
@@ -176,10 +273,11 @@ ChunkFileWriter::close()
 
 ChunkFileScanner::ChunkFileScanner(const std::string &path) : path_(path)
 {
-    fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    fd_ = io::open(path.c_str(), O_RDONLY | O_CLOEXEC, 0, "chunk.read");
     if (fd_ < 0)
         throw ArchiveError("chunkio: cannot open '" + path +
-                           "': " + std::strerror(errno));
+                           "' [site chunk.read]: " +
+                           std::strerror(errno));
     struct stat st;
     if (::fstat(fd_, &st) != 0) {
         int err = errno;
@@ -215,9 +313,7 @@ ChunkFileScanner::next(ChunkFrame &frame)
         return false;
     }
     std::uint8_t hdr[kFrameHeaderSize];
-    ssize_t n = ::pread(fd_, hdr, sizeof hdr, static_cast<off_t>(off_));
-    if (n != static_cast<ssize_t>(sizeof hdr))
-        throw ArchiveError("chunkio: read error on '" + path_ + "'");
+    preadExact(fd_, hdr, sizeof hdr, off_, path_);
     if (get32(hdr) != kChunkFrameMagic)
         throw ArchiveError("chunkio: bad frame magic in '" + path_ +
                            "' at offset " + std::to_string(off_));
@@ -225,23 +321,21 @@ ChunkFileScanner::next(ChunkFrame &frame)
     std::uint32_t body_len = get32(hdr + 8);
     if (avail - kFrameHeaderSize < body_len + kFrameTrailerSize) {
         // The frame header landed but the body/CRC didn't: a torn
-        // append, not corruption.
+        // append — unless intact frames follow, in which case this is
+        // a corrupt length field and requireTearIsTail() throws.
+        requireTearIsTail(fd_, path_, off_, size_);
         torn_ = true;
         return false;
     }
     Buffer body(body_len);
-    if (body_len > 0) {
-        n = ::pread(fd_, body.data(), body_len,
-                    static_cast<off_t>(off_ + kFrameHeaderSize));
-        if (n != static_cast<ssize_t>(body_len))
-            throw ArchiveError("chunkio: read error on '" + path_ + "'");
-    }
+    if (body_len > 0)
+        preadExact(fd_, body.data(), body_len, off_ + kFrameHeaderSize,
+                   path_);
     std::uint8_t crc_bytes[kFrameTrailerSize];
-    n = ::pread(fd_, crc_bytes, sizeof crc_bytes,
-                static_cast<off_t>(off_ + kFrameHeaderSize + body_len));
-    if (n != static_cast<ssize_t>(sizeof crc_bytes))
-        throw ArchiveError("chunkio: read error on '" + path_ + "'");
-    if (get32(crc_bytes) != crc32(body.data(), body.size()))
+    preadExact(fd_, crc_bytes, sizeof crc_bytes,
+               off_ + kFrameHeaderSize + body_len, path_);
+    if (get32(crc_bytes) !=
+        crc32(body.data(), body.size(), crc32(hdr, sizeof hdr)))
         throw ArchiveError("chunkio: CRC mismatch in '" + path_ +
                            "' at offset " + std::to_string(off_) +
                            " (corrupt chunk)");

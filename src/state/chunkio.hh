@@ -9,8 +9,14 @@
  *   frame   u32 magic "ICKF" | u32 kind | u32 bodyLen | body | u32 crc32
  *
  * All integers are little-endian with explicit widths, and the CRC
- * (state::crc32, same polynomial as StateArchive) covers the body.
- * `kind` is producer-defined (header/data/footer chunk types).
+ * (state::crc32, same polynomial as StateArchive) covers the *whole
+ * frame* — magic, kind, bodyLen, and body. Covering the header matters:
+ * a flipped bit in bodyLen would otherwise masquerade as a torn tail
+ * (swallowing every frame after it), and a flipped bit in kind would
+ * reinterpret the body under another chunk type — both silent-data-loss
+ * modes found by the crash-point torture campaign
+ * (bench/torture_crashpoints). `kind` is producer-defined (header/data/
+ * footer chunk types).
  *
  * Durability discipline — the append-only complement of
  * atomicWriteFile's write-temp-and-rename:
@@ -22,6 +28,11 @@
  *    The scanner detects it (not enough bytes for the announced frame),
  *    reports it via tornTail(), and stops cleanly — every frame before
  *    the tear is intact by construction.
+ *  - A torn tail is only ever the *last* thing in a file: appends are
+ *    sequential, so nothing can land after an unfinished frame. If an
+ *    intact frame parses after an apparent tear, the "tear" is really a
+ *    corrupted length field, and the scanner raises ArchiveError
+ *    instead of silently dropping the good frames behind it.
  *  - A *complete* frame with a bad magic or CRC is corruption, not a
  *    tear, and raises ArchiveError: bytes after it can't be trusted.
  *  - Reopening for append truncates the torn tail first, so the file

@@ -66,14 +66,6 @@ flipByteAt(const std::string &path, std::uint64_t offset)
     f.write(&c, 1);
 }
 
-void
-appendRawBytes(const std::string &path, const std::vector<char> &bytes)
-{
-    std::ofstream f(path, std::ios::binary | std::ios::app);
-    ASSERT_TRUE(f.good());
-    f.write(bytes.data(), static_cast<std::streamoff>(bytes.size()));
-}
-
 // ------------------------------------------------------- chunk framing
 
 TEST(ChunkIo, RoundTripFrames)
@@ -109,48 +101,8 @@ TEST(ChunkIo, RoundTripFrames)
     EXPECT_EQ(scan.validBytes(), scan.fileSize());
 }
 
-TEST(ChunkIo, TornTailIsDetectedAndTruncatedOnReopen)
-{
-    TempDir dir("chunkio_torn");
-    std::string path = dir.file("frames.bin");
-
-    state::Buffer body = {10, 20, 30};
-    {
-        state::ChunkFileWriter w;
-        w.create(path, false);
-        w.append(1, body);
-        w.close();
-    }
-    std::uint64_t intact = fs::file_size(path);
-
-    // A kill mid-append leaves a partial frame: magic + kind, no more.
-    appendRawBytes(path, {'I', 'C', 'K', 'F', 2, 0, 0, 0});
-
-    {
-        state::ChunkFileScanner scan(path);
-        state::ChunkFrame frame;
-        ASSERT_TRUE(scan.next(frame));
-        EXPECT_FALSE(scan.next(frame));
-        EXPECT_TRUE(scan.tornTail());
-        EXPECT_EQ(scan.validBytes(), intact);
-    }
-
-    // Reopen-for-append drops the tail; new frames land on a boundary.
-    {
-        state::ChunkFileWriter w;
-        w.openAppend(path, intact, false);
-        w.append(2, body);
-        w.close();
-    }
-    state::ChunkFileScanner scan(path);
-    state::ChunkFrame frame;
-    ASSERT_TRUE(scan.next(frame));
-    EXPECT_EQ(frame.kind, 1u);
-    ASSERT_TRUE(scan.next(frame));
-    EXPECT_EQ(frame.kind, 2u);
-    EXPECT_FALSE(scan.next(frame));
-    EXPECT_FALSE(scan.tornTail());
-}
+// Torn-tail detection and reopen-truncation are covered exhaustively —
+// at every byte offset — by tests/test_torn_matrix.cc.
 
 TEST(ChunkIo, CorruptBodyIsRejectedNotTreatedAsTorn)
 {
@@ -408,45 +360,8 @@ TEST(ColStore, DifferentSweepRecreatesTheFile)
     EXPECT_FALSE(r.hasPoint(0));
 }
 
-TEST(ColStore, TruncationRecoversTheWholePointPrefix)
-{
-    TempDir dir("colstore_truncate");
-    std::string path = dir.file("sweep.colstore");
-    exp::SweepMeta meta = makeMeta();
-
-    {
-        // Durable mode: one data frame per point, so a cut mid-file
-        // lands inside the last frame and the prefix stays whole.
-        exp::ColumnStoreWriter::Options opts;
-        opts.durable = true;
-        exp::ColumnStoreWriter w(path, opts);
-        w.beginSweep(meta);
-        for (std::size_t idx : {0u, 1u, 2u}) {
-            auto recs = makeRecords(meta, idx);
-            w.acceptPoint(idx, recs.data(), recs.size());
-        }
-    }
-    fs::resize_file(path, fs::file_size(path) - 5);
-
-    exp::ColumnStoreReader r(path);
-    EXPECT_TRUE(r.tornTail());
-    EXPECT_EQ(r.completedPoints(), 2u);
-    expectBitEqual(r.readPoint(0), makeRecords(meta, 0));
-    expectBitEqual(r.readPoint(1), makeRecords(meta, 1));
-
-    // Adoption truncates the tear and completes the sweep.
-    exp::ColumnStoreWriter w(path);
-    w.beginSweep(meta);
-    EXPECT_EQ(w.adoptedPoints(), 2u);
-    auto recs = makeRecords(meta, 2);
-    w.acceptPoint(2, recs.data(), recs.size());
-    w.endSweep();
-
-    exp::ColumnStoreReader full(path);
-    EXPECT_FALSE(full.tornTail());
-    EXPECT_TRUE(full.cleanFooter());
-    EXPECT_EQ(full.completedPoints(), 3u);
-}
+// Truncation recovery is covered at every byte offset (including
+// adoption back to a bit-identical store) by tests/test_torn_matrix.cc.
 
 TEST(ColStore, CorruptDataChunkIsRejected)
 {

@@ -548,6 +548,69 @@ TEST(ShardSweep, TrialExceptionAbortsTheSweep)
                  std::runtime_error);
 }
 
+// Heartbeat liveness under batching: workers heartbeat at every point
+// start (not once per batch), so a tight stall timeout must not reap a
+// healthy worker that is quietly grinding through a large batch.
+TEST(ShardSweep, BatchedHealthyWorkersBeatATightStallTimeout)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_liveness");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.assignBatch = 4;       // several points per frame
+    opts.stallTimeoutMs = 2000; // 15x tighter than the default
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
+// A live-but-wedged worker emits no EOF, so only the stall watchdog can
+// reap it. The scripted hang wedges worker 0 at its first point start;
+// the watchdog must kill it and the respawn/reassign machinery must
+// still converge byte-identically.
+TEST(ShardSweep, StallWatchdogReapsAHungWorker)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_hang");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.stallTimeoutMs = 300;
+    opts.maxUnitAttempts = 6;
+    // Each respawn re-arms the plan, so every incarnation of slot 0
+    // hangs again until the spawn budget disables the slot.
+    opts.testWorker0FaultSpec =
+        "site=shard.point-start:op=point:occ=1:fault=hang";
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
+// The classic lost window: a worker dies after syncing its scratch
+// store but before reporting results. Scavenging must recover the
+// synced points without recomputing them into different bytes.
+TEST(ShardSweep, SurvivesACrashBetweenScratchSyncAndResult)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_postsync");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.maxUnitAttempts = 6;
+    opts.testWorker0FaultSpec =
+        "site=shard.post-sync:op=point:occ=1:fault=crash";
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
+// A result frame torn mid-write must fail the coordinator-side CRC or
+// framing check, never deliver a half-decoded record; the unit is
+// reassigned and the sweep converges.
+TEST(ShardSweep, SurvivesATornResultFrame)
+{
+    const exp::ScenarioSpec &spec = *testRegistry().find("shard-math");
+    TempDir dir("shard_tornframe");
+    shard::ShardOptions opts = shardOpts(dir);
+    opts.maxUnitAttempts = 6;
+    opts.testWorker0FaultSpec =
+        "seed=17;site=shard.result-frame:op=point:occ=1:fault=torn";
+    exp::SweepResult sharded = shard::runSharded(spec, opts);
+    EXPECT_EQ(exp::jsonReport(sharded, true), serialJson(spec));
+}
+
 TEST(ShardSweep, ResumesFromATruncatedStoreByteIdentically)
 {
     const exp::ScenarioSpec &spec = *testRegistry().find("shard-warm");
